@@ -1,0 +1,58 @@
+//! Per-step cost of the social dynamics vs the baselines — the
+//! computational side of the "low-memory, low-communication" claim:
+//! the collective social step costs O(m) regardless of N, while an
+//! N-agent bandit group pays O(N·m) and stores O(N·m) statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn_baselines::{Hedge, IndependentBanditGroup, ThompsonSampling, Ucb1};
+use sociolearn_bench::{bench_params, reward_stream};
+use sociolearn_core::{FinitePopulation, GroupDynamics};
+
+const M: usize = 10;
+const N: usize = 1_000;
+
+fn run_dynamics<D: GroupDynamics>(c: &mut Criterion, group_name: &str, label: &str, mut d: D) {
+    let rewards = reward_stream(M, 64, 11);
+    let mut group = c.benchmark_group(group_name.to_string());
+    group.bench_function(BenchmarkId::from_parameter(label), |b| {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut t = 0usize;
+        b.iter(|| {
+            d.step(&rewards[t % rewards.len()], &mut rng);
+            t += 1;
+        });
+    });
+    group.finish();
+}
+
+fn per_step_costs(c: &mut Criterion) {
+    run_dynamics(
+        c,
+        "per_step_cost",
+        "social_collective_N1000",
+        FinitePopulation::new(bench_params(M), N),
+    );
+    run_dynamics(
+        c,
+        "per_step_cost",
+        "hedge",
+        Hedge::new(M, 0.1).expect("valid"),
+    );
+    run_dynamics(
+        c,
+        "per_step_cost",
+        "ucb1_x1000",
+        IndependentBanditGroup::new(N, || Ucb1::new(M).expect("valid")),
+    );
+    run_dynamics(
+        c,
+        "per_step_cost",
+        "thompson_x1000",
+        IndependentBanditGroup::new(N, || ThompsonSampling::new(M).expect("valid")),
+    );
+}
+
+criterion_group!(benches, per_step_costs);
+criterion_main!(benches);

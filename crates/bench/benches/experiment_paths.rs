@@ -1,0 +1,53 @@
+//! End-to-end passes over the code paths the reproduction experiments
+//! exercise: a theorem-horizon regret run, a coupled finite/infinite
+//! run, and one message-passing round — so `cargo bench` also times
+//! the table-generation machinery itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn_bench::bench_params;
+use sociolearn_core::{BernoulliRewards, CoupledRun, FinitePopulation};
+use sociolearn_dist::{DistConfig, Runtime};
+use sociolearn_sim::{run_one, RunConfig};
+
+fn regret_run(c: &mut Criterion) {
+    let params = bench_params(10);
+    let horizon = params.min_horizon();
+    c.bench_function("e4_path_regret_run_N10k_Tstar", |b| {
+        let env = BernoulliRewards::one_good(10, 0.9).expect("valid");
+        let cfg = RunConfig::new(horizon);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_one(FinitePopulation::new(params, 10_000), env.clone(), &cfg, seed)
+                .tracker
+                .average_regret()
+        });
+    });
+}
+
+fn coupling_run(c: &mut Criterion) {
+    let params = bench_params(3);
+    c.bench_function("e3_path_coupled_run_N100k_T10", |b| {
+        let env = BernoulliRewards::linear(3, 0.9, 0.3).expect("valid");
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut run = CoupledRun::new(params, 100_000);
+            run.run(env.clone(), 10, &mut rng).max_deviation()
+        });
+    });
+}
+
+fn dist_round(c: &mut Criterion) {
+    let params = bench_params(2);
+    c.bench_function("e15_path_dist_round_N1024", |b| {
+        let mut net = Runtime::new(DistConfig::new(params, 1024), 1);
+        b.iter(|| net.round(&[true, false]));
+    });
+}
+
+criterion_group!(benches, regret_run, coupling_run, dist_round);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Topology-generation and network-dynamics step costs backing the
+//! E11 experiment's scalability notes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn_bench::{bench_params, reward_stream};
+use sociolearn_core::GroupDynamics;
+use sociolearn_graph::topology;
+use sociolearn_network::NetworkPopulation;
+
+fn generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation_n1000");
+    let n = 1_000;
+    group.bench_function("ring_k2", |b| b.iter(|| topology::ring(n, 2)));
+    group.bench_function("torus", |b| b.iter(|| topology::torus(25, 40)));
+    group.bench_function("erdos_renyi", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| topology::erdos_renyi(n, 0.01, &mut rng))
+    });
+    group.bench_function("watts_strogatz", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| topology::watts_strogatz(n, 3, 0.1, &mut rng))
+    });
+    group.bench_function("barabasi_albert", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| topology::barabasi_albert(n, 3, &mut rng))
+    });
+    group.finish();
+}
+
+fn network_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_dynamics_step_n1000");
+    let rewards = reward_stream(2, 64, 4);
+    let params = bench_params(2);
+    for (label, graph) in [
+        ("ring_k2", topology::ring(1_000, 2)),
+        ("star", topology::star(1_000)),
+        ("complete", topology::complete(1_000)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &graph, |b, graph| {
+            let mut pop = NetworkPopulation::new(params, graph.clone());
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut t = 0usize;
+            b.iter(|| {
+                pop.step(&rewards[t % rewards.len()], &mut rng);
+                t += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generation, network_step);
+criterion_main!(benches);

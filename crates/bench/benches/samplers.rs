@@ -1,0 +1,52 @@
+//! Sampling-primitive microbenches: alias table vs CDF inversion for
+//! categorical draws, and exact binomial/multinomial costs — the
+//! primitives whose costs set the dynamics' step costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn_core::{sample_binomial, sample_categorical, sample_multinomial, AliasTable};
+
+fn categorical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("categorical_draw");
+    for &m in &[4usize, 64, 1024] {
+        let weights: Vec<f64> = (1..=m).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("alias", m), &m, |b, _| {
+            let table = AliasTable::new(&weights).expect("valid weights");
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| table.sample(&mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("cdf_inversion", m), &m, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| sample_categorical(&mut rng, &weights));
+        });
+    }
+    group.finish();
+}
+
+fn binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_draw");
+    for &n in &[100u64, 100_000, 100_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| sample_binomial(&mut rng, n, 0.3));
+        });
+    }
+    group.finish();
+}
+
+fn multinomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multinomial_draw");
+    for &m in &[4usize, 64, 1024] {
+        let probs: Vec<f64> = vec![1.0 / m as f64; m];
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(4);
+            let mut out = vec![0u64; m];
+            b.iter(|| sample_multinomial(&mut rng, 1_000_000, &probs, &mut out));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, categorical, binomial, multinomial);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Per-step cost of each dynamics form — the table behind the
+//! "collective form is O(m), per-agent form is O(N)" claim, and the
+//! scalability story for the infinite dynamics in `m`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn_bench::{bench_params, reward_stream};
+use sociolearn_core::{AgentPopulation, FinitePopulation, GroupDynamics, InfiniteDynamics};
+
+fn finite_collective_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("finite_collective_step_vs_N");
+    let rewards = reward_stream(10, 64, 1);
+    for &n in &[100usize, 10_000, 1_000_000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = bench_params(10);
+            let mut pop = FinitePopulation::new(params, n);
+            let mut rng = SmallRng::seed_from_u64(2);
+            let mut t = 0usize;
+            b.iter(|| {
+                pop.step(&rewards[t % rewards.len()], &mut rng);
+                t += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn agent_form_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_form_step_vs_N");
+    let rewards = reward_stream(10, 64, 3);
+    for &n in &[100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = bench_params(10);
+            let mut pop = AgentPopulation::new(params, n);
+            let mut rng = SmallRng::seed_from_u64(4);
+            let mut t = 0usize;
+            b.iter(|| {
+                pop.step(&rewards[t % rewards.len()], &mut rng);
+                t += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn infinite_vs_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infinite_step_vs_m");
+    for &m in &[2usize, 10, 100, 1_000] {
+        let rewards = reward_stream(m, 64, 5);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let params = bench_params(m);
+            let mut dynamics = InfiniteDynamics::new(params);
+            let mut t = 0usize;
+            b.iter(|| {
+                dynamics.step_rewards(&rewards[t % rewards.len()]);
+                t += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, finite_collective_vs_n, agent_form_vs_n, infinite_vs_m);
+criterion_main!(benches);

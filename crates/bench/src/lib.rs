@@ -1,0 +1,47 @@
+//! # sociolearn-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness. The benches
+//! regenerate the repository's *performance* tables (per-step cost
+//! scaling in `N` and `m`, sampler costs, baseline comparisons, graph
+//! generation, and quick passes over the experiment code paths),
+//! complementing the statistical reproduction suite in
+//! `sociolearn-experiments`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn_core::{BernoulliRewards, Params, RewardModel};
+
+/// The default parameter point used across benches: `m` options at
+/// `beta = 0.6` with the theorem-regime `mu`.
+pub fn bench_params(m: usize) -> Params {
+    Params::new(m, 0.6).expect("valid bench parameters")
+}
+
+/// A deterministic pre-drawn reward stream (`steps × m`), so benches
+/// measure dynamics cost, not environment cost.
+pub fn reward_stream(m: usize, steps: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut env = BernoulliRewards::linear(m, 0.9, 0.1).expect("valid qualities");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(steps);
+    let mut buf = vec![false; m];
+    for t in 0..steps {
+        env.sample(t as u64, &mut rng, &mut buf);
+        out.push(buf.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(reward_stream(3, 10, 7), reward_stream(3, 10, 7));
+        assert_ne!(reward_stream(3, 10, 7), reward_stream(3, 10, 8));
+        assert_eq!(bench_params(4).num_options(), 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! The common interface every population-level learning process in
+//! this workspace implements.
+
+use rand::RngCore;
+
+/// A discrete-time stochastic process over a probability distribution
+/// on `m` options.
+///
+/// Implementors include the finite-population dynamics (both the
+/// collective-statistic and per-agent forms), the infinite-population
+/// dynamics / stochastic MWU, the network-restricted variant, and all
+/// baseline algorithms — which is what lets the experiment harness
+/// measure regret for any of them through one code path.
+///
+/// The contract mirrors the paper's timing: `distribution()` exposes
+/// the option shares *after* the most recent step (the paper's `Q^t`),
+/// and a subsequent `step(R^{t+1})` consumes the fresh signal vector.
+pub trait GroupDynamics {
+    /// Number of options `m`.
+    fn num_options(&self) -> usize;
+
+    /// Writes the current option distribution into `out`.
+    ///
+    /// The entries are non-negative and sum to 1 (implementations must
+    /// normalize; the finite dynamics normalizes over *committed*
+    /// individuals, per the paper's definition of `Q_j`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `out.len() != self.num_options()`.
+    fn write_distribution(&self, out: &mut [f64]);
+
+    /// Advances one time step given the fresh reward signals.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `rewards.len() != self.num_options()`.
+    fn step(&mut self, rewards: &[bool], rng: &mut dyn RngCore);
+
+    /// Convenience: the current distribution as a fresh vector.
+    fn distribution(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_options()];
+        self.write_distribution(&mut out);
+        out
+    }
+
+    /// A short human-readable name for reports and legends.
+    fn label(&self) -> &str {
+        "dynamics"
+    }
+}
+
+/// Asserts the basic distribution invariants (non-negative, sums to 1
+/// within `tol`). Used by tests and debug assertions across the
+/// workspace.
+///
+/// # Panics
+///
+/// Panics with a descriptive message if an invariant fails.
+pub fn assert_distribution(dist: &[f64], tol: f64) {
+    assert!(!dist.is_empty(), "empty distribution");
+    let mut total = 0.0;
+    for (i, &p) in dist.iter().enumerate() {
+        assert!(p >= -tol, "negative probability at {i}: {p}");
+        assert!(p.is_finite(), "non-finite probability at {i}: {p}");
+        total += p;
+    }
+    assert!(
+        (total - 1.0).abs() <= tol * dist.len() as f64 + tol,
+        "distribution sums to {total}, not 1"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(Vec<f64>);
+    impl GroupDynamics for Fixed {
+        fn num_options(&self) -> usize {
+            self.0.len()
+        }
+        fn write_distribution(&self, out: &mut [f64]) {
+            out.copy_from_slice(&self.0);
+        }
+        fn step(&mut self, _rewards: &[bool], _rng: &mut dyn RngCore) {}
+    }
+
+    #[test]
+    fn default_distribution_allocates() {
+        let d = Fixed(vec![0.25; 4]);
+        assert_eq!(d.distribution(), vec![0.25; 4]);
+        assert_eq!(d.label(), "dynamics");
+    }
+
+    #[test]
+    fn trait_object_safe() {
+        let mut d: Box<dyn GroupDynamics> = Box::new(Fixed(vec![0.5, 0.5]));
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        d.step(&[true, false], &mut rng);
+        assert_eq!(d.num_options(), 2);
+    }
+
+    #[test]
+    fn invariant_checker_accepts_valid() {
+        assert_distribution(&[0.3, 0.7], 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn invariant_checker_rejects_unnormalized() {
+        assert_distribution(&[0.3, 0.3], 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn invariant_checker_rejects_negative() {
+        assert_distribution(&[-0.1, 1.1], 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Error types for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing invalid model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    /// Fewer than one option.
+    NoOptions,
+    /// A probability parameter was outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `alpha > beta`, violating the model's requirement that a good
+    /// signal never makes adoption less likely.
+    AlphaAboveBeta {
+        /// Supplied `alpha`.
+        alpha: f64,
+        /// Supplied `beta`.
+        beta: f64,
+    },
+    /// A quality vector entry was outside `[0, 1]` or empty.
+    BadQuality {
+        /// Index of the offending entry, if any.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::NoOptions => write!(f, "model needs at least one option"),
+            ParamsError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "parameter {name} = {value} is not a probability in [0, 1]")
+            }
+            ParamsError::AlphaAboveBeta { alpha, beta } => {
+                write!(f, "alpha = {alpha} exceeds beta = {beta}")
+            }
+            ParamsError::BadQuality { index, value } => {
+                write!(f, "quality eta[{index}] = {value} is not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+/// A reason the parameters fall outside the regime assumed by the
+/// paper's theorems (Theorems 4.3 / 4.4).
+///
+/// Parameters outside the regime are still *simulable* — several
+/// experiments deliberately leave the regime (ablations, µ = 0
+/// lock-in) — but the regret bounds are then not guaranteed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegimeViolation {
+    /// `beta <= 1/2`: the adoption signal is uninformative or inverted.
+    BetaTooSmall {
+        /// Supplied `beta`.
+        beta: f64,
+    },
+    /// `beta > e/(e+1)`: `delta > 1`, outside the theorem range.
+    BetaTooLarge {
+        /// Supplied `beta`.
+        beta: f64,
+    },
+    /// `6·mu > delta^2`: exploration overwhelms the regret budget.
+    MuTooLarge {
+        /// Supplied `mu`.
+        mu: f64,
+        /// `delta^2 / 6`, the largest admissible `mu`.
+        max_mu: f64,
+    },
+    /// `mu == 0`: the dynamics can lock in on a suboptimal option.
+    MuZero,
+    /// `alpha != 1 - beta`: the theorem statements assume the
+    /// symmetric parameterization (the general case only changes
+    /// constants, per Section 2.2 of the paper).
+    AlphaNotSymmetric {
+        /// Supplied `alpha`.
+        alpha: f64,
+        /// Supplied `beta`.
+        beta: f64,
+    },
+}
+
+impl fmt::Display for RegimeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegimeViolation::BetaTooSmall { beta } => {
+                write!(f, "beta = {beta} must exceed 1/2 for an informative signal")
+            }
+            RegimeViolation::BetaTooLarge { beta } => {
+                write!(
+                    f,
+                    "beta = {beta} exceeds e/(e+1) ~ 0.731, outside the theorem range"
+                )
+            }
+            RegimeViolation::MuTooLarge { mu, max_mu } => {
+                write!(f, "mu = {mu} exceeds delta^2/6 = {max_mu}")
+            }
+            RegimeViolation::MuZero => write!(f, "mu = 0 permits lock-in on a bad option"),
+            RegimeViolation::AlphaNotSymmetric { alpha, beta } => {
+                write!(f, "alpha = {alpha} != 1 - beta = {}", 1.0 - beta)
+            }
+        }
+    }
+}
+
+impl Error for RegimeViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<Box<dyn Error>> = vec![
+            Box::new(ParamsError::NoOptions),
+            Box::new(ParamsError::ProbabilityOutOfRange { name: "mu", value: 2.0 }),
+            Box::new(ParamsError::AlphaAboveBeta { alpha: 0.9, beta: 0.3 }),
+            Box::new(ParamsError::BadQuality { index: 2, value: -0.5 }),
+            Box::new(RegimeViolation::BetaTooSmall { beta: 0.4 }),
+            Box::new(RegimeViolation::BetaTooLarge { beta: 0.99 }),
+            Box::new(RegimeViolation::MuTooLarge { mu: 0.5, max_mu: 0.01 }),
+            Box::new(RegimeViolation::MuZero),
+            Box::new(RegimeViolation::AlphaNotSymmetric { alpha: 0.2, beta: 0.6 }),
+        ];
+        for e in cases {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.is_ascii() || text.contains('~'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParamsError>();
+        assert_send_sync::<RegimeViolation>();
+    }
+}

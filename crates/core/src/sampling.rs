@@ -1,0 +1,337 @@
+//! Sampling primitives used by the dynamics: categorical draws (alias
+//! method and CDF inversion), exact binomial, and multinomial via
+//! conditional binomials.
+
+use rand::Rng;
+use rand_distr::{Binomial, Distribution};
+
+/// Vose's alias method: O(m) construction, O(1) categorical sampling.
+///
+/// The per-agent form of the dynamics draws one option per agent per
+/// step from the popularity distribution, so constant-time sampling is
+/// what keeps that form O(N) per step.
+///
+/// # Example
+///
+/// ```
+/// use sociolearn_core::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+/// let mut counts = [0u32; 2];
+/// for _ in 0..10_000 {
+///     counts[table.sample(&mut rng)] += 1;
+/// }
+/// assert!(counts[1] > counts[0] * 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// Returns `None` if `weights` is empty, contains a negative or
+    /// non-finite entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return None;
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return None;
+        }
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical residue: pin whatever is left to probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Draws one category from an explicit probability vector by CDF
+/// inversion (O(m) per draw). Used where the distribution changes
+/// every draw so an alias table would not amortize.
+///
+/// Falls back to the last index on accumulated rounding error; treats
+/// the vector as unnormalized weights.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty or sums to zero.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, probs: &[f64]) -> usize {
+    assert!(!probs.is_empty(), "sample_categorical: empty distribution");
+    let total: f64 = probs.iter().sum();
+    assert!(total > 0.0, "sample_categorical: zero-mass distribution");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Draws from `Binomial(n, p)` exactly (delegating to `rand_distr`'s
+/// BTPE implementation), handling the `p ∈ {0, 1}` edges directly.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "binomial p must be in [0,1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    Binomial::new(n, p)
+        .expect("validated arguments")
+        .sample(rng)
+}
+
+/// Draws `S ~ Multinomial(n, probs)` into `out` using the conditional
+/// binomial decomposition — exactly the joint law, in O(m) binomial
+/// draws.
+///
+/// `probs` is treated as unnormalized non-negative weights.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch, `probs` is empty, has negative entries,
+/// or sums to zero.
+pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64], out: &mut [u64]) {
+    assert_eq!(probs.len(), out.len(), "multinomial: buffer length mismatch");
+    assert!(!probs.is_empty(), "multinomial: empty distribution");
+    let mut remaining_mass: f64 = probs.iter().sum();
+    assert!(
+        remaining_mass > 0.0 && probs.iter().all(|&p| p >= 0.0),
+        "multinomial: weights must be non-negative with positive sum"
+    );
+    let mut remaining = n;
+    for (i, &p) in probs.iter().enumerate() {
+        if remaining == 0 {
+            out[i..].fill(0);
+            return;
+        }
+        if i == probs.len() - 1 {
+            out[i] = remaining;
+            return;
+        }
+        let cond = (p / remaining_mass).clamp(0.0, 1.0);
+        let draw = sample_binomial(rng, remaining, cond);
+        out[i] = draw;
+        remaining -= draw;
+        remaining_mass -= p;
+        if remaining_mass <= 0.0 {
+            // All remaining weights are zero; nothing else can be drawn.
+            out[i + 1..].fill(0);
+            // Any leftover count would indicate inconsistent weights;
+            // assign it to the last positive-weight category (here).
+            out[i] += remaining;
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let t = AliasTable::new(&[7.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn alias_frequencies_match_weights() {
+        let weights = [0.1, 0.2, 0.3, 0.4];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - w).abs() < 0.01, "cat {i}: freq={freq}, want {w}");
+        }
+    }
+
+    #[test]
+    fn alias_zero_weight_never_drawn() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let probs = [0.5, 0.25, 0.25];
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[sample_categorical(&mut rng, &probs)] += 1;
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "cat {i}: freq={freq}");
+        }
+    }
+
+    #[test]
+    fn categorical_unnormalized_ok() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let i = sample_categorical(&mut rng, &[0.0, 10.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-mass")]
+    fn categorical_zero_mass_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        sample_categorical(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        assert_eq!(sample_binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 1.0), 10);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+    }
+
+    #[test]
+    fn binomial_mean_and_bounds() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let mut total = 0u64;
+        let reps = 5_000;
+        for _ in 0..reps {
+            let d = sample_binomial(&mut rng, 100, 0.3);
+            assert!(d <= 100);
+            total += d;
+        }
+        let mean = total as f64 / reps as f64;
+        assert!((mean - 30.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn multinomial_conserves_total() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let probs = [0.2, 0.3, 0.5];
+        let mut out = [0u64; 3];
+        for _ in 0..200 {
+            sample_multinomial(&mut rng, 1000, &probs, &mut out);
+            assert_eq!(out.iter().sum::<u64>(), 1000);
+        }
+    }
+
+    #[test]
+    fn multinomial_means() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let probs = [0.1, 0.6, 0.3];
+        let mut out = [0u64; 3];
+        let mut sums = [0f64; 3];
+        let reps = 3_000;
+        for _ in 0..reps {
+            sample_multinomial(&mut rng, 500, &probs, &mut out);
+            for (s, &v) in sums.iter_mut().zip(&out) {
+                *s += v as f64;
+            }
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            let mean = sums[i] / reps as f64;
+            let expect = 500.0 * p;
+            assert!((mean - expect).abs() < expect * 0.05 + 1.0, "cat {i}: {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn multinomial_trailing_zero_weights() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let probs = [1.0, 0.0, 0.0];
+        let mut out = [0u64; 3];
+        sample_multinomial(&mut rng, 42, &probs, &mut out);
+        assert_eq!(out, [42, 0, 0]);
+    }
+
+    #[test]
+    fn multinomial_zero_trials() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        let mut out = [9u64; 2];
+        sample_multinomial(&mut rng, 0, &[0.5, 0.5], &mut out);
+        assert_eq!(out, [0, 0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Trajectory recording: downsampled snapshots of the option
+//! distribution over a run.
+
+/// Records the option distribution every `stride` steps (plus step 0),
+/// tracking the minimum popularity along the way — the quantity the
+/// popularity-floor experiments monitor.
+///
+/// # Example
+///
+/// ```
+/// use sociolearn_core::History;
+///
+/// let mut h = History::new(2);
+/// h.record(0, &[0.5, 0.5]);
+/// h.record(1, &[0.6, 0.4]); // skipped (stride 2)
+/// h.record(2, &[0.7, 0.3]);
+/// assert_eq!(h.times(), &[0, 2]);
+/// assert_eq!(h.series(1), vec![0.5, 0.3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct History {
+    stride: u64,
+    times: Vec<u64>,
+    dists: Vec<Vec<f64>>,
+    min_popularity: f64,
+    min_popularity_step: u64,
+}
+
+impl History {
+    /// Creates a recorder keeping every `stride`-th step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        History {
+            stride,
+            times: Vec::new(),
+            dists: Vec::new(),
+            min_popularity: f64::INFINITY,
+            min_popularity_step: 0,
+        }
+    }
+
+    /// Offers a snapshot at step `t`; it is stored only if `t` is a
+    /// multiple of the stride, but the running minimum popularity is
+    /// updated regardless.
+    pub fn record(&mut self, t: u64, dist: &[f64]) {
+        let min = dist.iter().copied().fold(f64::INFINITY, f64::min);
+        if min < self.min_popularity {
+            self.min_popularity = min;
+            self.min_popularity_step = t;
+        }
+        if t.is_multiple_of(self.stride) {
+            self.times.push(t);
+            self.dists.push(dist.to_vec());
+        }
+    }
+
+    /// The recorded step indices.
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The stored distribution snapshots, aligned with [`times`].
+    ///
+    /// [`times`]: History::times
+    pub fn snapshots(&self) -> &[Vec<f64>] {
+        &self.dists
+    }
+
+    /// The trajectory of option `j` across stored snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range for any snapshot.
+    pub fn series(&self, j: usize) -> Vec<f64> {
+        self.dists.iter().map(|d| d[j]).collect()
+    }
+
+    /// The smallest popularity seen at *any* offered step (not just
+    /// stored ones), with the step it occurred at.
+    pub fn min_popularity(&self) -> (f64, u64) {
+        (self.min_popularity, self.min_popularity_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_filters_storage() {
+        let mut h = History::new(3);
+        for t in 0..10 {
+            h.record(t, &[1.0 - t as f64 * 0.05, t as f64 * 0.05]);
+        }
+        assert_eq!(h.times(), &[0, 3, 6, 9]);
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn min_tracks_all_steps() {
+        let mut h = History::new(100);
+        h.record(0, &[0.5, 0.5]);
+        h.record(7, &[0.99, 0.01]); // not stored, but min must see it
+        h.record(100, &[0.6, 0.4]);
+        let (min, at) = h.min_popularity();
+        assert_eq!(min, 0.01);
+        assert_eq!(at, 7);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut h = History::new(1);
+        h.record(0, &[0.2, 0.8]);
+        h.record(1, &[0.3, 0.7]);
+        assert_eq!(h.series(0), vec![0.2, 0.3]);
+        assert_eq!(h.series(1), vec![0.8, 0.7]);
+        assert_eq!(h.snapshots().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        History::new(0);
+    }
+}

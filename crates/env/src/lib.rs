@@ -1,0 +1,38 @@
+//! # sociolearn-env
+//!
+//! Reward environments beyond the plain independent-Bernoulli base
+//! model, covering every environment class the paper discusses:
+//!
+//! * [`BestOfTwoRewards`] / [`BestOfMRewards`] — correlated environments
+//!   in which exactly one option is "good" each step (Ellison–Fudenberg
+//!   and its m-option generalization),
+//! * [`ShockDuel`] / [`DuelPopulation`] — the full continuous-reward
+//!   word-of-mouth model with player-specific shocks, plus its exact
+//!   reduction to the paper's `(η, α, β)` parameterization,
+//! * [`PiecewiseStationary`], [`RandomWalkQualities`], [`swap_best`] —
+//!   drifting qualities (the paper's future-work direction),
+//! * [`ThresholdRewards`] — continuous rewards binarized by a
+//!   threshold, the standard conversion cited in Section 3,
+//! * [`TraceRewards`] / [`RecordingRewards`] — record/replay, used by
+//!   the coupling experiments to feed identical reward realizations to
+//!   different processes,
+//! * [`PeriodicRewards`] — deterministic adversarial-ish sequences for
+//!   robustness tests.
+//!
+//! All implement [`sociolearn_core::RewardModel`], so any dynamics in
+//! the workspace can run against any of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversarial;
+mod correlated;
+mod drift;
+mod threshold;
+mod trace;
+
+pub use adversarial::PeriodicRewards;
+pub use correlated::{BestOfMRewards, BestOfTwoRewards, DuelPopulation, ShockDuel};
+pub use drift::{swap_best, PiecewiseStationary, RandomWalkQualities};
+pub use threshold::{ContinuousDist, ThresholdRewards};
+pub use trace::{RecordingRewards, TraceRewards};

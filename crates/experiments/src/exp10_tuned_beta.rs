@@ -1,0 +1,115 @@
+//! E10 — Section 6's designer observation: optimizing `β` for the
+//! horizon recovers the classic `O(sqrt(ln m / T))` regret of MWU.
+//! We sweep `T`, set `β*(T)`, and fit the scaling exponent.
+
+use crate::{verdict, ExpContext, ExperimentReport};
+use sociolearn_core::{BernoulliRewards, InfiniteDynamics, Params};
+use sociolearn_plot::{fmt_sig, CsvWriter, MarkdownTable, Series, SvgPlot};
+use sociolearn_sim::{replicate, run_one, RunConfig, SeedTree};
+use sociolearn_stats::{loglog_fit, Summary};
+
+pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
+    let m = 10;
+    let env = BernoulliRewards::one_good(m, 0.9).expect("valid qualities");
+    let horizons: Vec<u64> = ctx.pick(
+        vec![100, 1_000, 10_000],
+        vec![30, 100, 300, 1_000, 3_000, 10_000, 30_000],
+    );
+    let reps = ctx.pick(12u64, 32);
+    let tree = SeedTree::new(ctx.seed);
+
+    let mut table = MarkdownTable::new(&[
+        "T", "beta*(T)", "delta*(T)", "regret", "sqrt(ln m / T) reference",
+    ]);
+    let mut csv = CsvWriter::with_columns(&["t", "beta", "delta", "regret", "ci", "reference"]);
+    let mut pts = Vec::new();
+
+    for (i, &t) in horizons.iter().enumerate() {
+        let beta = Params::tuned_beta(m, t);
+        let params = Params::new(m, beta).expect("tuned beta in range");
+        let cfg = RunConfig::new(t);
+        let finals = replicate(reps, tree.subtree(i as u64).root(), |seed| {
+            run_one(InfiniteDynamics::new(params), env.clone(), &cfg, seed)
+                .tracker
+                .average_regret()
+        });
+        let s = Summary::from_slice(&finals);
+        let reference = ((m as f64).ln() / t as f64).sqrt();
+        table.add_row(&[
+            t.to_string(),
+            fmt_sig(beta, 4),
+            fmt_sig(params.delta(), 4),
+            fmt_sig(s.mean(), 3),
+            fmt_sig(reference, 3),
+        ]);
+        csv.row_values(&[
+            t as f64,
+            beta,
+            params.delta(),
+            s.mean(),
+            s.ci(0.95).half_width(),
+            reference,
+        ]);
+        pts.push((t as f64, s.mean().max(1e-5)));
+    }
+
+    let (xs, ys): (Vec<f64>, Vec<f64>) = pts.iter().copied().unzip();
+    let fit = loglog_fit(&xs, &ys);
+    // The exponent should be near -1/2 (tolerant window: the small-T
+    // end is still burn-in dominated).
+    let pass = fit.slope < -0.3 && fit.slope > -0.75;
+
+    let reference_pts: Vec<(f64, f64)> = horizons
+        .iter()
+        .map(|&t| (t as f64, ((m as f64).ln() / t as f64).sqrt()))
+        .collect();
+    let fig = SvgPlot::new("E10: regret with horizon-tuned beta")
+        .x_label("T")
+        .y_label("average regret")
+        .log_x()
+        .log_y()
+        .add(Series::with_markers("tuned beta", pts))
+        .add(Series::line("sqrt(ln m / T)", reference_pts));
+    let mut artifacts = vec!["E10.csv".to_string()];
+    let _ = csv.save(ctx.path("E10.csv"));
+    if fig.save(ctx.path("E10.svg")).is_ok() {
+        artifacts.push("E10.svg".into());
+    }
+
+    let markdown = format!(
+        "Claim (Section 6): an algorithm designer free to choose beta can set \
+         `delta* = sqrt(ln m/(2T))` and recover the optimal `O(sqrt(ln m/T))` regret; the \
+         social dynamics is constrained only by the beta the group actually uses. \
+         m = {m}, {reps} reps, seed {seed}.\n\n{table}\n\
+         Log-log fit: regret ~ T^{{{slope}}} (R^2 = {r2}) — expected exponent ≈ −1/2 [{v}].\n",
+        m = m,
+        reps = reps,
+        seed = ctx.seed,
+        table = table.render(),
+        slope = fmt_sig(fit.slope, 3),
+        r2 = fmt_sig(fit.r_squared, 3),
+        v = verdict(pass),
+    );
+
+    ExperimentReport {
+        id: "E10",
+        title: "Tuned beta recovers O(sqrt(ln m / T)) regret (Section 6)",
+        markdown,
+        pass,
+        artifacts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let dir = std::env::temp_dir().join("sociolearn_e10");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ctx = ExpContext::new(&dir, true, 1010);
+        let report = run(&ctx);
+        assert!(report.pass, "report:\n{}", report.render());
+    }
+}

@@ -1,0 +1,91 @@
+//! Command-line driver for the reproduction suite.
+//!
+//! ```text
+//! experiments list
+//! experiments E4 [--quick] [--seed N] [--out DIR]
+//! experiments all [--quick] [--seed N] [--out DIR]
+//! ```
+
+use sociolearn_experiments::{registry, run_by_id, ExpContext};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <list|all|E1..E16> [--quick] [--seed N] [--out DIR]");
+        return ExitCode::FAILURE;
+    }
+
+    let mut target = String::new();
+    let mut quick = false;
+    let mut seed = 20170508u64; // arXiv submission date of the paper
+    let mut out = "results".to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => match iter.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => seed = s,
+                _ => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(dir) => out = dir.clone(),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if target.is_empty() => target = other.to_string(),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if target.eq_ignore_ascii_case("list") {
+        for e in registry() {
+            println!("{:4}  {}\n      claim: {}", e.id, e.title, e.claim);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ctx = ExpContext::new(&out, quick, seed);
+    let ids: Vec<&'static str> = if target.eq_ignore_ascii_case("all") {
+        registry().iter().map(|e| e.id).collect()
+    } else {
+        match registry().iter().find(|e| e.id.eq_ignore_ascii_case(&target)) {
+            Some(e) => vec![e.id],
+            None => {
+                eprintln!("unknown experiment {target:?}; use `list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut failures = 0;
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run_by_id(id, &ctx) {
+            Ok(report) => {
+                println!("{}", report.render());
+                println!("({} finished in {:.1?})\n", id, started.elapsed());
+                if !report.pass {
+                    failures += 1;
+                }
+            }
+            Err(err) => {
+                eprintln!("{id}: {err}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed their paper-prediction check");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,30 @@
+//! # sociolearn-graph
+//!
+//! Graph substrate for the network-restricted social-learning
+//! experiments (the paper's first future-work direction: "extend our
+//! results to the social network setting where individuals can only
+//! sample from their neighbors").
+//!
+//! Provides a compact CSR [`Graph`], generators for the standard
+//! topology families ([`topology`]), and the structural metrics the
+//! network experiments report ([`metrics`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sociolearn_graph::{topology, Graph};
+//!
+//! let g = topology::ring(10, 2);
+//! assert_eq!(g.num_nodes(), 10);
+//! assert_eq!(g.degree(0), 4);
+//! assert!(g.is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+pub mod metrics;
+pub mod topology;
+
+pub use csr::{Graph, GraphError};

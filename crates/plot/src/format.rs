@@ -1,0 +1,103 @@
+//! Compact numeric formatting for tables and axis labels.
+
+/// Formats a value with `sig` significant digits, choosing fixed or
+/// scientific notation by magnitude.
+///
+/// ```
+/// use sociolearn_plot::fmt_sig;
+/// assert_eq!(fmt_sig(0.123456, 3), "0.123");
+/// assert_eq!(fmt_sig(12345.6, 3), "1.23e4");
+/// assert_eq!(fmt_sig(0.0, 3), "0");
+/// ```
+pub fn fmt_sig(x: f64, sig: usize) -> String {
+    let sig = sig.max(1);
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let mag = x.abs().log10().floor() as i32;
+    // Fixed notation only while every displayed digit is significant;
+    // otherwise fall through to scientific.
+    if (-4..(sig as i32).min(7)).contains(&mag) {
+        let decimals = (sig as i32 - 1 - mag).max(0) as usize;
+        let s = format!("{x:.decimals$}");
+        trim_trailing_zeros(&s)
+    } else {
+        fmt_sci(x, sig)
+    }
+}
+
+/// Formats a value in compact scientific notation with `sig`
+/// significant digits (`1.23e4` rather than `1.23e+04`).
+///
+/// ```
+/// use sociolearn_plot::fmt_sci;
+/// assert_eq!(fmt_sci(12345.6, 3), "1.23e4");
+/// assert_eq!(fmt_sci(-0.00012, 2), "-1.2e-4");
+/// ```
+pub fn fmt_sci(x: f64, sig: usize) -> String {
+    let sig = sig.max(1);
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let s = format!("{:.*e}", sig - 1, x);
+    // Trim redundant mantissa zeros ("1.00e7" -> "1e7") and a zero
+    // exponent ("1e0" -> "1").
+    let (mantissa, exponent) = s.split_once('e').expect("e-notation always has an exponent");
+    let mantissa = trim_trailing_zeros(mantissa);
+    if exponent == "0" {
+        mantissa
+    } else {
+        format!("{mantissa}e{exponent}")
+    }
+}
+
+fn trim_trailing_zeros(s: &str) -> String {
+    if s.contains('.') {
+        let t = s.trim_end_matches('0').trim_end_matches('.');
+        t.to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_range() {
+        assert_eq!(fmt_sig(1.0, 3), "1");
+        assert_eq!(fmt_sig(3.14159, 4), "3.142");
+        assert_eq!(fmt_sig(-2.5, 2), "-2.5");
+        assert_eq!(fmt_sig(0.001234, 2), "0.0012");
+    }
+
+    #[test]
+    fn sci_range() {
+        assert_eq!(fmt_sig(1.0e7, 3), "1e7");
+        assert_eq!(fmt_sig(4.2e-7, 2), "4.2e-7");
+    }
+
+    #[test]
+    fn non_finite() {
+        assert_eq!(fmt_sig(f64::INFINITY, 3), "inf");
+        assert_eq!(fmt_sig(f64::NAN, 3), "NaN");
+    }
+
+    #[test]
+    fn zero_sig_clamped() {
+        assert_eq!(fmt_sig(1.5, 0), "2");
+    }
+
+    #[test]
+    fn sci_keeps_nonzero_exponent() {
+        assert_eq!(fmt_sci(123.0, 3), "1.23e2");
+        assert_eq!(fmt_sci(1.0, 3), "1");
+    }
+}

@@ -1,0 +1,44 @@
+//! # sociolearn-sim
+//!
+//! Experiment machinery: deterministic seed derivation, single-run
+//! execution, parallel replication, parameter sweeps, and aggregation
+//! of regret/share curves with confidence intervals.
+//!
+//! Everything in the reproduction suite is driven from explicit `u64`
+//! seeds through [`SeedTree`], so every number in `EXPERIMENTS.md` is
+//! reproducible from the seed printed next to it.
+//!
+//! # Example
+//!
+//! ```
+//! use sociolearn_core::{BernoulliRewards, FinitePopulation, Params};
+//! use sociolearn_sim::{replicate, run_one, RunConfig};
+//!
+//! let params = Params::new(3, 0.6)?;
+//! let cfg = RunConfig::new(params.min_horizon());
+//! let results = replicate(8, 42, |seed| {
+//!     run_one(
+//!         FinitePopulation::new(params, 1_000),
+//!         BernoulliRewards::one_good(3, 0.9).unwrap(),
+//!         &cfg,
+//!         seed,
+//!     )
+//! });
+//! assert_eq!(results.len(), 8);
+//! # Ok::<(), sociolearn_core::ParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod measure;
+mod parallel;
+mod runner;
+mod seeds;
+mod sweep;
+
+pub use measure::{aggregate_curves, final_values, AggregatedCurve};
+pub use parallel::{parallel_map, replicate};
+pub use runner::{run_one, Replication, RunConfig};
+pub use seeds::{SeedTree, SplitMix64};
+pub use sweep::{grid2, grid3};

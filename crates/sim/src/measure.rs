@@ -1,0 +1,150 @@
+//! Aggregation of per-replication measurements.
+
+use sociolearn_core::RegretCurve;
+use sociolearn_stats::{OnlineStats, Summary};
+
+/// A mean ± CI curve aggregated across replications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedCurve {
+    /// Shared horizons.
+    pub horizons: Vec<u64>,
+    /// Mean value at each horizon.
+    pub means: Vec<f64>,
+    /// Normal-approximation 95% half-widths.
+    pub ci_half: Vec<f64>,
+}
+
+impl AggregatedCurve {
+    /// `(horizon, mean)` points for plotting.
+    pub fn mean_points(&self) -> Vec<(f64, f64)> {
+        self.horizons
+            .iter()
+            .zip(&self.means)
+            .map(|(&t, &v)| (t as f64, v))
+            .collect()
+    }
+
+    /// `(horizon, mean + half)` and `(horizon, mean − half)` band
+    /// curves.
+    pub fn band(&self) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+        let hi = self
+            .horizons
+            .iter()
+            .zip(self.means.iter().zip(&self.ci_half))
+            .map(|(&t, (&m, &h))| (t as f64, m + h))
+            .collect();
+        let lo = self
+            .horizons
+            .iter()
+            .zip(self.means.iter().zip(&self.ci_half))
+            .map(|(&t, (&m, &h))| (t as f64, m - h))
+            .collect();
+        (hi, lo)
+    }
+
+    /// The final mean value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    pub fn final_mean(&self) -> f64 {
+        *self.means.last().expect("aggregated curve is empty")
+    }
+}
+
+/// Aggregates replication curves that share the same horizon grid.
+///
+/// # Panics
+///
+/// Panics if the list is empty or the horizon grids differ.
+pub fn aggregate_curves(curves: &[RegretCurve]) -> AggregatedCurve {
+    assert!(!curves.is_empty(), "no curves to aggregate");
+    let horizons = curves[0].horizons.clone();
+    for c in curves {
+        assert_eq!(c.horizons, horizons, "curves have mismatched horizon grids");
+    }
+    let mut means = Vec::with_capacity(horizons.len());
+    let mut ci_half = Vec::with_capacity(horizons.len());
+    for i in 0..horizons.len() {
+        let mut acc = OnlineStats::new();
+        for c in curves {
+            acc.push(c.values[i]);
+        }
+        means.push(acc.mean());
+        ci_half.push(if acc.count() >= 2 { acc.ci_half_width(0.95) } else { 0.0 });
+    }
+    AggregatedCurve {
+        horizons,
+        means,
+        ci_half,
+    }
+}
+
+/// Summary of the final value of each curve (one number per
+/// replication).
+///
+/// # Panics
+///
+/// Panics if the list is empty or any curve is empty.
+pub fn final_values(curves: &[RegretCurve]) -> Summary {
+    assert!(!curves.is_empty(), "no curves");
+    let finals: Vec<f64> = curves
+        .iter()
+        .map(|c| c.last_value().expect("curve has no points"))
+        .collect();
+    Summary::from_slice(&finals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(vals: &[f64]) -> RegretCurve {
+        let mut c = RegretCurve::new();
+        for (i, &v) in vals.iter().enumerate() {
+            c.push((i as u64 + 1) * 10, v);
+        }
+        c
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let a = curve(&[1.0, 2.0]);
+        let b = curve(&[3.0, 4.0]);
+        let agg = aggregate_curves(&[a, b]);
+        assert_eq!(agg.horizons, vec![10, 20]);
+        assert_eq!(agg.means, vec![2.0, 3.0]);
+        assert_eq!(agg.final_mean(), 3.0);
+        assert!(agg.ci_half[0] > 0.0);
+        let (hi, lo) = agg.band();
+        assert!(hi[0].1 > lo[0].1);
+    }
+
+    #[test]
+    fn single_curve_zero_ci() {
+        let agg = aggregate_curves(&[curve(&[5.0])]);
+        assert_eq!(agg.ci_half, vec![0.0]);
+        assert_eq!(agg.mean_points(), vec![(10.0, 5.0)]);
+    }
+
+    #[test]
+    fn final_values_summary() {
+        let s = final_values(&[curve(&[1.0, 10.0]), curve(&[1.0, 20.0])]);
+        assert_eq!(s.mean(), 15.0);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched horizon")]
+    fn mismatched_grids_rejected() {
+        let a = curve(&[1.0]);
+        let b = curve(&[1.0, 2.0]);
+        aggregate_curves(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no curves")]
+    fn empty_rejected() {
+        aggregate_curves(&[]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Thread-pool parallel execution with deterministic seeding.
+
+use crate::seeds::SeedTree;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on a scoped thread pool (one thread per
+/// available core, capped by the item count). Order of results matches
+/// the input order.
+///
+/// # Example
+///
+/// ```
+/// let squares = sociolearn_sim::parallel_map(vec![1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work mutex poisoned")
+                    .take()
+                    .expect("each slot consumed once");
+                let out = f(item);
+                *results[i].lock().expect("result mutex poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result mutex poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// Runs `reps` independent replications of `f` in parallel, passing
+/// each a deterministic seed derived from `base_seed`. Results come
+/// back in replication order regardless of scheduling.
+///
+/// # Example
+///
+/// ```
+/// let outs = sociolearn_sim::replicate(4, 99, |seed| seed);
+/// let again = sociolearn_sim::replicate(4, 99, |seed| seed);
+/// assert_eq!(outs, again); // deterministic seed derivation
+/// ```
+pub fn replicate<R, F>(reps: u64, base_seed: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let tree = SeedTree::new(base_seed);
+    let seeds: Vec<u64> = (0..reps).map(|i| tree.child(i)).collect();
+    parallel_map(seeds, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..500u32).collect(), |x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![5], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn replicate_seeds_distinct_and_stable() {
+        let seeds = replicate(32, 7, |s| s);
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), 32);
+        assert_eq!(seeds, replicate(32, 7, |s| s));
+        assert_ne!(seeds, replicate(32, 8, |s| s));
+    }
+
+    #[test]
+    fn actually_runs_concurrently_or_at_least_correctly() {
+        // Heavier closure to exercise the pool; correctness check only.
+        let out = parallel_map((0..64u64).collect(), |x| {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i * x);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Cartesian parameter sweeps.
+
+/// Cartesian product of two parameter lists, row-major.
+///
+/// ```
+/// let pts = sociolearn_sim::grid2(&[1, 2], &["a", "b"]);
+/// assert_eq!(pts, vec![(1, "a"), (1, "b"), (2, "a"), (2, "b")]);
+/// ```
+pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// Cartesian product of three parameter lists, row-major.
+///
+/// ```
+/// let pts = sociolearn_sim::grid3(&[1], &[2, 3], &[4]);
+/// assert_eq!(pts, vec![(1, 2, 4), (1, 3, 4)]);
+/// ```
+pub fn grid3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+    let mut out = Vec::with_capacity(a.len() * b.len() * c.len());
+    for x in a {
+        for y in b {
+            for z in c {
+                out.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_sizes() {
+        assert_eq!(grid2(&[1, 2, 3], &[4, 5]).len(), 6);
+        assert!(grid2::<u8, u8>(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    fn grid3_order() {
+        let pts = grid3(&[1, 2], &[10], &[100, 200]);
+        assert_eq!(pts, vec![(1, 10, 100), (1, 10, 200), (2, 10, 100), (2, 10, 200)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Time-series utilities: smoothing, downsampling, autocorrelation.
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha` in `(0, 1]` (larger = less smoothing).
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+///
+/// ```
+/// let s = sociolearn_stats::ewma(&[0.0, 1.0, 1.0], 0.5);
+/// assert_eq!(s, vec![0.0, 0.5, 0.75]);
+/// ```
+pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "ewma alpha must be in (0,1]");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut state = f64::NAN;
+    for &x in xs {
+        state = if state.is_nan() { x } else { alpha * x + (1.0 - alpha) * state };
+        out.push(state);
+    }
+    out
+}
+
+/// Centered-as-possible trailing moving average with the given window.
+///
+/// The first `window - 1` outputs average over the available prefix, so
+/// the output has the same length as the input.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+///
+/// ```
+/// let s = sociolearn_stats::moving_average(&[1.0, 2.0, 3.0, 4.0], 2);
+/// assert_eq!(s, vec![1.0, 1.5, 2.5, 3.5]);
+/// ```
+pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "moving_average window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for i in 0..xs.len() {
+        sum += xs[i];
+        if i >= window {
+            sum -= xs[i - window];
+        }
+        let n = (i + 1).min(window);
+        out.push(sum / n as f64);
+    }
+    out
+}
+
+/// Keeps every `stride`-th element (always keeping the first and last),
+/// for plotting long trajectories cheaply.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+///
+/// ```
+/// let d = sociolearn_stats::downsample(&[0.0, 1.0, 2.0, 3.0, 4.0], 2);
+/// assert_eq!(d, vec![0.0, 2.0, 4.0]);
+/// ```
+pub fn downsample(xs: &[f64], stride: usize) -> Vec<f64> {
+    assert!(stride > 0, "downsample stride must be positive");
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<f64> = xs.iter().copied().step_by(stride).collect();
+    if !(xs.len() - 1).is_multiple_of(stride) {
+        out.push(*xs.last().expect("nonempty checked above"));
+    }
+    out
+}
+
+/// Sample autocorrelation at the given lag, in `[-1, 1]`.
+///
+/// Returns `0.0` when the series is too short or degenerate.
+///
+/// ```
+/// let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let r = sociolearn_stats::autocorrelation(&xs, 1);
+/// assert!(r < -0.9); // alternating series is strongly anti-correlated at lag 1
+/// ```
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    let m = crate::mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - m) * (w[lag] - m))
+        .sum();
+    num / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_constant_is_identity() {
+        let xs = vec![4.0; 10];
+        assert_eq!(ewma(&xs, 0.3), xs);
+    }
+
+    #[test]
+    fn ewma_alpha_one_is_identity() {
+        let xs = vec![1.0, 5.0, 2.0];
+        assert_eq!(ewma(&xs, 1.0), xs);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let xs = vec![3.0, 1.0, 4.0];
+        assert_eq!(moving_average(&xs, 1), xs);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let sm = moving_average(&xs, 10);
+        // After the warmup the average should hover near 0.5.
+        for &v in &sm[10..] {
+            assert!((v - 0.5).abs() <= 0.1, "v={v}");
+        }
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d = downsample(&xs, 4);
+        assert_eq!(d.first(), Some(&0.0));
+        assert_eq!(d.last(), Some(&9.0));
+    }
+
+    #[test]
+    fn downsample_stride_larger_than_input() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let d = downsample(&xs, 100);
+        assert_eq!(d, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn downsample_empty() {
+        assert!(downsample(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_is_zero() {
+        assert_eq!(autocorrelation(&[2.0; 20], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 5), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_smooth_series_positive() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.05).sin()).collect();
+        assert!(autocorrelation(&xs, 1) > 0.9);
+    }
+}

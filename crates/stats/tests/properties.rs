@@ -1,0 +1,163 @@
+//! Property-based tests of the statistics substrate.
+
+use proptest::prelude::*;
+use sociolearn_stats::{
+    autocorrelation, binomial_ln_pmf, binomial_tail_ge, binomial_tail_le, downsample, ewma,
+    ks_p_value, ln_choose, moving_average, normal_cdf, normal_quantile, ols_fit, Histogram,
+    OnlineCov, OnlineStats, Summary,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn online_stats_matches_two_pass(data in proptest::collection::vec(-1e9f64..1e9, 2..200)) {
+        let online: OnlineStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let scale = mean.abs().max(1.0);
+        prop_assert!((online.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((online.sample_variance() - var).abs() / var.max(1.0) < 1e-6);
+        prop_assert_eq!(online.count(), data.len() as u64);
+    }
+
+    #[test]
+    fn online_merge_is_concatenation(
+        a in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        b in proptest::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut left: OnlineStats = a.iter().copied().collect();
+        let right: OnlineStats = b.iter().copied().collect();
+        left.merge(&right);
+        let whole: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(left.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((left.sample_variance() - whole.sample_variance()).abs()
+                / whole.sample_variance().max(1.0) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_and_scale_consistent(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100),
+    ) {
+        let mut xy = OnlineCov::new();
+        let mut yx = OnlineCov::new();
+        for &(x, y) in &pairs {
+            xy.push(x, y);
+            yx.push(y, x);
+        }
+        prop_assert!((xy.sample_covariance() - yx.sample_covariance()).abs() < 1e-6);
+        prop_assert!((xy.correlation() - yx.correlation()).abs() < 1e-9);
+        prop_assert!(xy.correlation().abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn summary_bounds_mean(data in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::from_slice(&data);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.median() >= s.min() && s.median() <= s.max());
+        let ci = s.ci(0.95);
+        prop_assert!(ci.lo <= ci.hi);
+    }
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 0.001f64..0.999) {
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn binomial_tails_complement(n in 1u64..200, k in 0u64..200, p in 0.0f64..=1.0) {
+        let k = k.min(n);
+        let ge = binomial_tail_ge(n, k, p);
+        prop_assert!((0.0..=1.0).contains(&ge));
+        if k > 0 {
+            let le = binomial_tail_le(n, k - 1, p);
+            prop_assert!((ge + le - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_normalized(n in 1u64..80, p in 0.01f64..0.99) {
+        let total: f64 = (0..=n).map(|k| binomial_ln_pmf(n, k, p).exp()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_choose_pascal(n in 1u64..60, k in 1u64..60) {
+        prop_assume!(k <= n);
+        // C(n, k) = C(n-1, k-1) + C(n-1, k)
+        let lhs = ln_choose(n, k).exp();
+        let rhs = ln_choose(n - 1, k - 1).exp() + if k < n { ln_choose(n - 1, k).exp() } else { 0.0 };
+        prop_assert!((lhs - rhs).abs() / lhs.max(1.0) < 1e-9);
+    }
+
+    #[test]
+    fn ewma_stays_in_hull(data in proptest::collection::vec(-100f64..100.0, 1..100), alpha in 0.01f64..1.0) {
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in ewma(&data, alpha) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_average_stays_in_hull(data in proptest::collection::vec(-100f64..100.0, 1..100), w in 1usize..20) {
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let out = moving_average(&data, w);
+        prop_assert_eq!(out.len(), data.len());
+        for v in out {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints(data in proptest::collection::vec(-10f64..10.0, 1..100), stride in 1usize..20) {
+        let out = downsample(&data, stride);
+        prop_assert_eq!(out.first(), data.first());
+        prop_assert_eq!(out.last(), data.last());
+        prop_assert!(out.len() <= data.len());
+    }
+
+    #[test]
+    fn autocorrelation_bounded(data in proptest::collection::vec(-10f64..10.0, 3..100), lag in 0usize..10) {
+        let r = autocorrelation(&data, lag);
+        prop_assert!(r.abs() <= 1.0 + 1e-9, "autocorrelation {} out of range", r);
+    }
+
+    #[test]
+    fn histogram_counts_everything(data in proptest::collection::vec(-1e3f64..1e3, 1..200), bins in 1usize..30) {
+        let h = Histogram::auto(&data, bins);
+        prop_assert_eq!(h.total(), data.len() as u64);
+        prop_assert_eq!(h.underflow(), 0);
+        prop_assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn ols_residuals_orthogonal_to_x(
+        pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..60),
+    ) {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = pts.iter().copied().unzip();
+        // Degenerate x (all equal) has slope 0 by convention; skip.
+        let x0 = xs[0];
+        prop_assume!(xs.iter().any(|&x| (x - x0).abs() > 1e-6));
+        let fit = ols_fit(&xs, &ys);
+        // Normal equations: sum of residuals and x-weighted residuals ~ 0.
+        let r_sum: f64 = xs.iter().zip(&ys).map(|(&x, &y)| y - fit.predict(x)).sum();
+        let rx_sum: f64 = xs.iter().zip(&ys).map(|(&x, &y)| x * (y - fit.predict(x))).sum();
+        let scale: f64 = ys.iter().map(|y| y.abs()).sum::<f64>().max(1.0);
+        prop_assert!(r_sum.abs() / scale < 1e-6, "residual sum {}", r_sum);
+        prop_assert!(rx_sum.abs() / (scale * 100.0) < 1e-4, "x-weighted residual sum {}", rx_sum);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r_squared));
+    }
+
+    #[test]
+    fn ks_p_value_in_unit_interval(lambda in 0.0f64..10.0) {
+        let p = ks_p_value(lambda);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

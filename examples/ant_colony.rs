@@ -1,0 +1,68 @@
+//! Collective nest-site choice (the paper's animal-behaviour
+//! motivation, after Pratt et al. and Seeley & Buhrman): a colony on a
+//! *social network* — sampling only trail-mates — tracks the best nest
+//! site even when site qualities drift and the best site collapses
+//! mid-run.
+//!
+//! Combines two future-work directions from Section 6: network-
+//! restricted sampling and changing qualities.
+//!
+//! ```text
+//! cargo run --release --example ant_colony
+//! ```
+
+use rand::SeedableRng;
+use sociolearn::core::{GroupDynamics, Params, RewardModel};
+use sociolearn::env::swap_best;
+use sociolearn::graph::{metrics, topology};
+use sociolearn::network::NetworkPopulation;
+use sociolearn::plot::AsciiChart;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 300 ants on a small-world contact network; 3 candidate nest
+    // sites. Site 0 starts best; at step 400 it collapses and site 2
+    // becomes best.
+    let n = 300;
+    let params = Params::new(3, 0.65)?;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1023);
+    let graph = topology::watts_strogatz(n, 3, 0.1, &mut rng);
+    let deg = metrics::degree_stats(&graph);
+    let apl = metrics::average_path_length(&graph, 50, &mut rng);
+    println!(
+        "colony network: {} ants, mean degree {:.1}, average path length {:.2}",
+        n, deg.mean, apl
+    );
+
+    let mut env = swap_best(vec![0.9, 0.5, 0.3], 400, 2)?;
+    let mut colony = NetworkPopulation::new(params, graph);
+    let horizon = 800u64;
+    let mut site0 = Vec::new();
+    let mut site2 = Vec::new();
+    let mut rewards = vec![false; 3];
+
+    for t in 1..=horizon {
+        env.sample(t, &mut rng, &mut rewards);
+        colony.step(&rewards, &mut rng);
+        let q = colony.distribution();
+        site0.push(q[0]);
+        site2.push(q[2]);
+    }
+
+    println!("\nshare of scouting ants per site (site 0 collapses at t = 400):");
+    print!(
+        "{}",
+        AsciiChart::new(72, 14)
+            .with_y_range(0.0, 1.0)
+            .with_labels(["site 0 (best until 400)", "site 2 (best after 400)"])
+            .render_multi(&[&site0, &site2])
+    );
+
+    let late: f64 = site2[650..].iter().sum::<f64>() / (horizon as usize - 650) as f64;
+    println!(
+        "\naverage share on the new best site over the final 150 steps: {late:.3} — the \
+         colony re-converges after the swap because mu = {:.3} keeps every site under \
+         occasional scout traffic, exactly the role Section 2.1 assigns to mu.",
+        params.mu()
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! The conclusion's engineering suggestion, run end to end: a fleet of
+//! low-power sensor nodes picks the best of several radio channels
+//! using the social-learning protocol as a distributed, O(1)-memory
+//! MWU — under message loss and node crashes.
+//!
+//! ```text
+//! cargo run --release --example sensor_network
+//! ```
+
+use rand::SeedableRng;
+use sociolearn::core::{BernoulliRewards, GroupDynamics, Params, RewardModel};
+use sociolearn::dist::{DistConfig, FaultPlan, Runtime, NODE_STATE_BYTES};
+use sociolearn::plot::MarkdownTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 512 sensors, 4 radio channels. Channel 0 is clean 85% of rounds;
+    // the others suffer interference (quality 0.5, 0.4, 0.3).
+    let params = Params::new(4, 0.65)?;
+    let mut env = BernoulliRewards::new(vec![0.85, 0.5, 0.4, 0.3])?;
+    let n = 512;
+    let rounds = 400u64;
+
+    println!(
+        "protocol state per node: {NODE_STATE_BYTES} bytes (current channel only — no weight \
+         vector, no history)\n"
+    );
+
+    let mut table = MarkdownTable::new(&[
+        "network condition",
+        "share on clean channel",
+        "msgs/round",
+        "fallbacks/round",
+    ]);
+
+    let conditions: Vec<(&str, FaultPlan)> = vec![
+        ("reliable links", FaultPlan::none()),
+        ("20% message loss", FaultPlan::with_drop_prob(0.2)?),
+        ("45% message loss", FaultPlan::with_drop_prob(0.45)?),
+        ("1/4 nodes crash at round 100", {
+            let mut f = FaultPlan::none();
+            for node in 0..n / 4 {
+                f = f.crash(node, 100);
+            }
+            f
+        }),
+    ];
+
+    for (label, fault) in conditions {
+        let mut net = Runtime::new(DistConfig::new(params, n).with_faults(fault), 42);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rewards = vec![false; 4];
+        let mut share = 0.0;
+        for t in 1..=rounds {
+            env.sample(t, &mut rng, &mut rewards);
+            net.round(&rewards);
+            if t > rounds / 2 {
+                share += net.distribution()[0];
+            }
+        }
+        share /= (rounds / 2) as f64;
+        let metrics = net.metrics();
+        table.add_row(&[
+            label.to_string(),
+            format!("{share:.3}"),
+            format!("{:.0}", metrics.messages_per_round()),
+            format!("{:.1}", metrics.fallbacks as f64 / metrics.rounds as f64),
+        ]);
+    }
+
+    println!("{table}");
+    println!(
+        "Every node runs the same two-line protocol — ask a random peer what it used last \
+         round, keep it if this round's channel probe looks good — and the fleet as a whole \
+         performs multiplicative-weights channel selection. Faults slow the gossip but the \
+         uniform-exploration fallback keeps the fleet learning."
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The paper's second worked example (Section 2.1, after
+//! Ellison–Fudenberg): word-of-mouth learning with *continuous*
+//! rewards and player-specific taste shocks, and its reduction to the
+//! paper's `(eta, alpha, beta)` framework.
+//!
+//! We simulate the full continuous-duel population, print the induced
+//! binary-model parameters (closed form vs Monte Carlo), and show the
+//! reduced model reaching the same outcome.
+//!
+//! ```text
+//! cargo run --release --example word_of_mouth
+//! ```
+
+use rand::SeedableRng;
+use sociolearn::core::{FinitePopulation, GroupDynamics, Params, RewardModel};
+use sociolearn::env::{BestOfTwoRewards, DuelPopulation, ShockDuel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two restaurants: on 70% of evenings restaurant A is the better
+    // experience by a margin of 1.0 "utils"; diners' tastes add
+    // N(0, 0.8^2) noise to every comparison.
+    let duel = ShockDuel::new(0.7, 1.0, 0.8)?;
+    let (eta1, eta2, beta, alpha) = duel.induced_params();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1995);
+    let beta_mc = duel.estimate_beta(200_000, &mut rng);
+
+    println!("continuous word-of-mouth model: p = {}, gap = {}, sigma = {}", duel.p(), duel.gap(), duel.sigma());
+    println!(
+        "induced binary parameters: eta = ({eta1:.3}, {eta2:.3}), beta = {beta:.4} \
+         (Monte Carlo check: {beta_mc:.4}), alpha = {alpha:.4}\n"
+    );
+
+    // Full continuous model: diners switch restaurants when a sampled
+    // acquaintance's experience, net of shocks, beats their own.
+    let n = 3_000;
+    let mu = 0.02;
+    let mut diners = DuelPopulation::new(duel, mu, n)?;
+    let horizon = 600u64;
+    let mut duel_avg = 0.0;
+    for t in 1..=horizon {
+        diners.step(&mut rng);
+        if t > horizon / 2 {
+            duel_avg += diners.share_of_best();
+        }
+    }
+    duel_avg /= (horizon / 2) as f64;
+
+    // Reduced binary model with the induced parameters.
+    let params = Params::with_all(2, beta, alpha, mu)?;
+    let mut env = BestOfTwoRewards::new(eta1)?;
+    let mut group = FinitePopulation::new(params, n);
+    let mut rewards = vec![false; 2];
+    let mut reduced_avg = 0.0;
+    for t in 1..=horizon {
+        env.sample(t, &mut rng, &mut rewards);
+        group.step(&rewards, &mut rng);
+        if t > horizon / 2 {
+            reduced_avg += group.distribution()[0];
+        }
+    }
+    reduced_avg /= (horizon / 2) as f64;
+
+    println!("share of diners at the better restaurant (steady state):");
+    println!("  full continuous duel : {duel_avg:.3}");
+    println!("  reduced binary model : {reduced_avg:.3}");
+    println!(
+        "\nThe reduction (Section 2.1) maps shocks into a single symmetric variable xi and \
+         reads beta off P[xi > -(r1 - r2) | r1 > r2]; both populations settle on the better \
+         restaurant, so the binary theory's regret bounds transfer."
+    );
+    Ok(())
+}

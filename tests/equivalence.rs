@@ -1,0 +1,148 @@
+//! Cross-crate equivalence tests: the four implementations of the
+//! dynamics (collective-statistic, per-agent, network-on-complete-
+//! graph, message-passing) are the same process.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn::core::{AgentPopulation, FinitePopulation, GroupDynamics, Params};
+use sociolearn::dist::{DistConfig, Runtime};
+use sociolearn::env::TraceRewards;
+use sociolearn::graph::topology;
+use sociolearn::network::NetworkPopulation;
+use sociolearn::stats::ks_two_sample;
+
+/// Fixed reward trace so every implementation sees identical signals.
+fn trace(m: usize, steps: usize, seed: u64) -> TraceRewards {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rows: Vec<Vec<bool>> = (0..steps)
+        .map(|_| {
+            (0..m)
+                .map(|j| rand::Rng::gen_bool(&mut rng, if j == 0 { 0.85 } else { 0.45 }))
+                .collect()
+        })
+        .collect();
+    TraceRewards::new(rows).expect("valid trace")
+}
+
+/// Runs a dynamics against the shared trace, returning Q_0 after
+/// `steps` steps.
+fn final_share<D: GroupDynamics>(mut d: D, steps: usize, m: usize, seed: u64) -> f64 {
+    use sociolearn::core::RewardModel;
+    let mut env = trace(m, steps, 555);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rewards = vec![false; m];
+    for t in 1..=steps as u64 {
+        env.sample(t, &mut rng, &mut rewards);
+        d.step(&rewards, &mut rng);
+    }
+    d.distribution()[0]
+}
+
+#[test]
+fn collective_and_agent_forms_agree_in_distribution() {
+    let m = 3;
+    let n = 200;
+    let steps = 12;
+    let params = Params::new(m, 0.65).unwrap();
+    let reps = 300u64;
+
+    let collective: Vec<f64> = (0..reps)
+        .map(|i| final_share(FinitePopulation::new(params, n), steps, m, 1000 + i))
+        .collect();
+    let agent: Vec<f64> = (0..reps)
+        .map(|i| final_share(AgentPopulation::new(params, n), steps, m, 5000 + i))
+        .collect();
+
+    let ks = ks_two_sample(&collective, &agent);
+    assert!(
+        ks.accepts_at(0.001),
+        "collective vs agent forms differ in law: {ks:?}"
+    );
+}
+
+#[test]
+fn network_on_complete_graph_matches_agent_form() {
+    // On the complete graph, neighbor-restricted sampling is sampling
+    // among all other adopters; for N in the hundreds the self-exclusion
+    // bias is O(1/N) and the two laws are statistically identical.
+    let m = 3;
+    let n = 200;
+    let steps = 12;
+    let params = Params::new(m, 0.65).unwrap();
+    let reps = 300u64;
+
+    let network: Vec<f64> = (0..reps)
+        .map(|i| {
+            final_share(
+                NetworkPopulation::new(params, topology::complete(n)),
+                steps,
+                m,
+                9000 + i,
+            )
+        })
+        .collect();
+    let agent: Vec<f64> = (0..reps)
+        .map(|i| final_share(AgentPopulation::new(params, n), steps, m, 13_000 + i))
+        .collect();
+
+    let ks = ks_two_sample(&network, &agent);
+    assert!(
+        ks.accepts_at(0.001),
+        "network(complete) vs agent form differ in law: {ks:?}"
+    );
+}
+
+#[test]
+fn message_passing_runtime_matches_collective_form() {
+    let m = 2;
+    let n = 400;
+    let steps = 15;
+    let params = Params::new(m, 0.65).unwrap();
+    let reps = 200u64;
+
+    let dist: Vec<f64> = (0..reps)
+        .map(|i| {
+            final_share(
+                Runtime::new(DistConfig::new(params, n), 17_000 + i),
+                steps,
+                m,
+                17_000 + i,
+            )
+        })
+        .collect();
+    let collective: Vec<f64> = (0..reps)
+        .map(|i| final_share(FinitePopulation::new(params, n), steps, m, 21_000 + i))
+        .collect();
+
+    let ks = ks_two_sample(&dist, &collective);
+    assert!(
+        ks.accepts_at(0.001),
+        "message-passing vs collective form differ in law: {ks:?}"
+    );
+}
+
+#[test]
+fn all_forms_converge_to_same_steady_share() {
+    let m = 2;
+    let n = 2_000;
+    let params = Params::new(m, 0.65).unwrap();
+    let steps = 300;
+
+    let shares = [
+        final_share(FinitePopulation::new(params, n), steps, m, 1),
+        final_share(AgentPopulation::new(params, n), steps, m, 2),
+        final_share(
+            NetworkPopulation::new(params, topology::complete(n)),
+            steps,
+            m,
+            3,
+        ),
+        final_share(Runtime::new(DistConfig::new(params, n), 4), steps, m, 4),
+    ];
+    for (i, &s) in shares.iter().enumerate() {
+        assert!(s > 0.85, "form {i} failed to converge: share {s}");
+    }
+    let spread = shares.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        - shares.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(spread < 0.1, "steady-state spread too large: {shares:?}");
+}

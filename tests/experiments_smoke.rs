@@ -1,0 +1,62 @@
+//! Smoke tests of the reproduction suite through its public API: every
+//! registered experiment runs in quick mode, passes its paper check,
+//! and writes its artifacts.
+
+use sociolearn::experiments::{registry, run_by_id, ExpContext};
+
+fn ctx(tag: &str) -> ExpContext {
+    let dir = std::env::temp_dir().join(format!("sociolearn_smoke_{tag}"));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    ExpContext::new(dir, true, 20170508)
+}
+
+#[test]
+fn registry_covers_all_paper_claims() {
+    let reg = registry();
+    assert_eq!(reg.len(), 16);
+    // Spot-check that the headline theorems are represented.
+    let titles: Vec<&str> = reg.iter().map(|e| e.title).collect();
+    assert!(titles.iter().any(|t| t.contains("Theorem 4.3")));
+    assert!(titles.iter().any(|t| t.contains("Theorem 4.4")));
+    assert!(titles.iter().any(|t| t.contains("Lemma 4.5")));
+    assert!(titles.iter().any(|t| t.contains("Theorem 4.6")));
+}
+
+#[test]
+fn headline_theorem_experiments_pass_and_write_artifacts() {
+    let ctx = ctx("headline");
+    for id in ["E1", "E4"] {
+        let report = run_by_id(id, &ctx).expect("experiment runs");
+        assert!(report.pass, "{id} failed:\n{}", report.render());
+        assert!(ctx.path(&format!("{id}.md")).exists(), "{id}.md missing");
+        assert!(ctx.path(&format!("{id}.csv")).exists(), "{id}.csv missing");
+    }
+}
+
+#[test]
+fn mechanism_experiments_pass() {
+    let ctx = ctx("mechanism");
+    for id in ["E7", "E8", "E13"] {
+        let report = run_by_id(id, &ctx).expect("experiment runs");
+        assert!(report.pass, "{id} failed:\n{}", report.render());
+    }
+}
+
+#[test]
+fn extension_experiments_pass() {
+    let ctx = ctx("extension");
+    for id in ["E11", "E15"] {
+        let report = run_by_id(id, &ctx).expect("experiment runs");
+        assert!(report.pass, "{id} failed:\n{}", report.render());
+    }
+}
+
+#[test]
+fn reports_mention_their_seeds() {
+    let ctx = ctx("seeded");
+    let report = run_by_id("E2", &ctx).expect("experiment runs");
+    assert!(
+        report.markdown.contains("20170508"),
+        "report should cite its seed for reproducibility"
+    );
+}

@@ -1,0 +1,190 @@
+//! Property-based invariants across the workspace: for arbitrary valid
+//! parameters and reward sequences, every dynamics maintains a valid
+//! distribution, counts conserve, and the analytic helpers obey their
+//! algebraic identities.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn::core::{
+    assert_distribution, ratio_deviation, sample_multinomial, tv_distance, AgentPopulation,
+    AliasTable, FinitePopulation, GroupDynamics, InfiniteDynamics, Params, StochasticMwu,
+};
+use sociolearn::stats::Summary;
+
+/// Strategy: valid model parameters (alpha <= beta enforced).
+fn params_strategy() -> impl Strategy<Value = Params> {
+    (2usize..8, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(m, beta, frac, mu)| {
+        let alpha = beta * frac;
+        Params::with_all(m, beta, alpha, mu).expect("constructed within bounds")
+    })
+}
+
+/// Strategy: a reward sequence of the given width.
+fn rewards_strategy(m: usize, steps: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<bool>(), m), steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn finite_population_invariants(
+        params in params_strategy(),
+        seed in any::<u64>(),
+        steps in 1usize..30,
+        n in 1usize..500,
+    ) {
+        let m = params.num_options();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pop = FinitePopulation::new(params, n);
+        let mut reward_rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..steps {
+            let rewards: Vec<bool> = (0..m).map(|_| rand::Rng::gen_bool(&mut reward_rng, 0.5)).collect();
+            let rec = pop.step_detailed(&rewards, &mut rng);
+            prop_assert_eq!(rec.sampled.iter().sum::<u64>(), n as u64);
+            prop_assert!(rec.total_committed() <= n as u64);
+            for (s, d) in rec.sampled.iter().zip(&rec.committed) {
+                prop_assert!(d <= s);
+            }
+            assert_distribution(&pop.distribution(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn agent_population_invariants(
+        params in params_strategy(),
+        seed in any::<u64>(),
+        steps in 1usize..20,
+        n in 1usize..200,
+    ) {
+        let m = params.num_options();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pop = AgentPopulation::new(params, n);
+        let mut reward_rng = SmallRng::seed_from_u64(seed ^ 0x1234);
+        for _ in 0..steps {
+            let rewards: Vec<bool> = (0..m).map(|_| rand::Rng::gen_bool(&mut reward_rng, 0.5)).collect();
+            pop.step(&rewards, &mut rng);
+            assert_distribution(&pop.distribution(), 1e-9);
+            let committed: u64 = pop.counts().iter().sum();
+            prop_assert_eq!(committed, pop.choices().iter().flatten().count() as u64);
+        }
+    }
+
+    #[test]
+    fn infinite_and_mwu_identical_for_any_rewards(
+        params in params_strategy(),
+        rewards in rewards_strategy(4, 25),
+    ) {
+        // Re-map params to m=4 to match the reward width.
+        let params = Params::with_all(4, params.beta().max(0.01), params.alpha().min(params.beta().max(0.01)), params.mu())
+            .expect("valid");
+        // Skip the degenerate case where both adopt probabilities are 0
+        // (weights collapse to zero and the distribution is undefined).
+        prop_assume!(params.alpha() > 0.0 || params.beta() > 0.0);
+        let mut inf = InfiniteDynamics::new(params);
+        let mut mwu = StochasticMwu::new(params);
+        for row in &rewards {
+            // All-false rewards with alpha == 0 kill every weight; the
+            // paper's regime always has alpha > 0, so skip those rows.
+            if params.alpha() == 0.0 && row.iter().all(|&r| !r) {
+                continue;
+            }
+            inf.step_rewards(row);
+            mwu.step_rewards(row);
+            let a = inf.distribution();
+            let b = mwu.distribution();
+            assert_distribution(&a, 1e-9);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9, "divergence: {} vs {}", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn deviation_metrics_algebra(
+        p in proptest::collection::vec(0.01f64..1.0, 4),
+        q in proptest::collection::vec(0.01f64..1.0, 4),
+    ) {
+        // Normalize into distributions.
+        let zp: f64 = p.iter().sum();
+        let zq: f64 = q.iter().sum();
+        let p: Vec<f64> = p.iter().map(|x| x / zp).collect();
+        let q: Vec<f64> = q.iter().map(|x| x / zq).collect();
+
+        let dev_pq = ratio_deviation(&p, &q);
+        let dev_qp = ratio_deviation(&q, &p);
+        prop_assert!((dev_pq - dev_qp).abs() < 1e-12, "ratio deviation must be symmetric");
+        prop_assert!(dev_pq >= 0.0);
+        prop_assert!(ratio_deviation(&p, &p).abs() < 1e-12);
+
+        let tv = tv_distance(&p, &q);
+        prop_assert!((0.0..=1.0).contains(&tv));
+        prop_assert!((tv - tv_distance(&q, &p)).abs() < 1e-12);
+        // TV is dominated by the multiplicative deviation:
+        // |p - q| <= dev * min(p, q) pointwise.
+        prop_assert!(tv <= dev_pq / 2.0 * 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn multinomial_conserves_and_respects_support(
+        n in 0u64..5_000,
+        weights in proptest::collection::vec(0.0f64..10.0, 2..8),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = vec![0u64; weights.len()];
+        sample_multinomial(&mut rng, n, &weights, &mut out);
+        prop_assert_eq!(out.iter().sum::<u64>(), n);
+        for (w, &count) in weights.iter().zip(&out) {
+            if *w == 0.0 {
+                prop_assert_eq!(count, 0, "zero-weight category drawn");
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_respects_support(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..16),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).expect("positive total");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight category {}", i);
+        }
+    }
+
+    #[test]
+    fn params_bounds_consistent(beta in 0.501f64..0.731) {
+        let p = Params::new(5, beta).expect("valid beta");
+        // delta and beta are inverse through the logistic map.
+        let d = p.delta();
+        let back = d.exp() / (1.0 + d.exp());
+        prop_assert!((back - beta).abs() < 1e-9);
+        // Bounds scale consistently.
+        prop_assert!((p.regret_bound_finite() - 2.0 * p.regret_bound_infinite()).abs() < 1e-12);
+        // Horizons: floor start needs at least as long as uniform.
+        prop_assert!(p.epoch_length() >= p.min_horizon());
+        // The default mu respects the regime.
+        prop_assert!(p.in_theorem_regime().is_ok());
+    }
+
+    #[test]
+    fn summary_quantiles_monotone(data in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        let s = Summary::from_slice(&data);
+        let mut prev = s.quantile(0.0);
+        for i in 1..=10 {
+            let q = s.quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev - 1e-9);
+            prev = q;
+        }
+        prop_assert_eq!(s.quantile(0.0), s.min());
+        prop_assert_eq!(s.quantile(1.0), s.max());
+        prop_assert!(s.ci(0.95).contains(s.mean()));
+    }
+}

@@ -121,8 +121,11 @@ impl BanditPolicy for ThompsonSampling {
         let mut best = 0;
         let mut best_draw = f64::NEG_INFINITY;
         for j in 0..self.successes.len() {
-            let beta = Beta::new(self.successes[j] as f64 + 1.0, self.failures[j] as f64 + 1.0)
-                .expect("parameters are >= 1");
+            let beta = Beta::new(
+                self.successes[j] as f64 + 1.0,
+                self.failures[j] as f64 + 1.0,
+            )
+            .expect("parameters are >= 1");
             let draw = beta.sample(&mut &mut *rng);
             if draw > best_draw {
                 best_draw = draw;
@@ -166,7 +169,10 @@ impl EpsilonGreedy {
             return Err(ParamsError::NoOptions);
         }
         if !(0.0..=1.0).contains(&eps) || eps.is_nan() {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "eps", value: eps });
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "eps",
+                value: eps,
+            });
         }
         Ok(EpsilonGreedy {
             eps,
@@ -234,7 +240,10 @@ impl Exp3 {
             return Err(ParamsError::NoOptions);
         }
         if !(gamma > 0.0 && gamma <= 1.0) {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "gamma", value: gamma });
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "gamma",
+                value: gamma,
+            });
         }
         Ok(Exp3 {
             log_weights: vec![0.0; m],
@@ -245,8 +254,16 @@ impl Exp3 {
 
     fn probabilities(&self) -> Vec<f64> {
         let m = self.log_weights.len();
-        let max = self.log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut w: Vec<f64> = self.log_weights.iter().map(|&lw| (lw - max).exp()).collect();
+        let max = self
+            .log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut w: Vec<f64> = self
+            .log_weights
+            .iter()
+            .map(|&lw| (lw - max).exp())
+            .collect();
         let z: f64 = w.iter().sum();
         for wi in w.iter_mut() {
             *wi = (1.0 - self.gamma) * *wi / z + self.gamma / m as f64;

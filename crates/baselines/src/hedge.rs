@@ -42,8 +42,11 @@ impl Hedge {
         if m == 0 {
             return Err(ParamsError::NoOptions);
         }
-        if !(eps > 0.0) || !eps.is_finite() {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "eps", value: eps });
+        if eps <= 0.0 || !eps.is_finite() {
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "eps",
+                value: eps,
+            });
         }
         Ok(Hedge {
             log_weights: vec![0.0; m],
@@ -75,7 +78,11 @@ impl GroupDynamics for Hedge {
     fn write_distribution(&self, out: &mut [f64]) {
         assert_eq!(out.len(), self.log_weights.len(), "buffer length mismatch");
         // Softmax with max-shift for stability.
-        let max = self.log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut z = 0.0;
         for (slot, &lw) in out.iter_mut().zip(&self.log_weights) {
             *slot = (lw - max).exp();
@@ -87,7 +94,11 @@ impl GroupDynamics for Hedge {
     }
 
     fn step(&mut self, rewards: &[bool], _rng: &mut dyn RngCore) {
-        assert_eq!(rewards.len(), self.log_weights.len(), "rewards length mismatch");
+        assert_eq!(
+            rewards.len(),
+            self.log_weights.len(),
+            "rewards length mismatch"
+        );
         for (lw, &r) in self.log_weights.iter_mut().zip(rewards) {
             if r {
                 *lw += self.eps;
@@ -130,8 +141,11 @@ impl DeterministicReplicator {
                 return Err(ParamsError::BadQuality { index, value });
             }
         }
-        if !(eps > 0.0) || !eps.is_finite() {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "eps", value: eps });
+        if eps <= 0.0 || !eps.is_finite() {
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "eps",
+                value: eps,
+            });
         }
         let m = etas.len();
         Ok(DeterministicReplicator {

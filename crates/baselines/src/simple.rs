@@ -23,7 +23,10 @@ impl BestFixed {
             return Err(ParamsError::NoOptions);
         }
         if best >= m {
-            return Err(ParamsError::BadQuality { index: best, value: best as f64 });
+            return Err(ParamsError::BadQuality {
+                index: best,
+                value: best as f64,
+            });
         }
         Ok(BestFixed { m, best })
     }

@@ -20,9 +20,14 @@ fn regret_run(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run_one(FinitePopulation::new(params, 10_000), env.clone(), &cfg, seed)
-                .tracker
-                .average_regret()
+            run_one(
+                FinitePopulation::new(params, 10_000),
+                env.clone(),
+                &cfg,
+                seed,
+            )
+            .tracker
+            .average_regret()
         });
     });
 }

@@ -64,5 +64,10 @@ fn infinite_vs_m(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, finite_collective_vs_n, agent_form_vs_n, infinite_vs_m);
+criterion_group!(
+    benches,
+    finite_collective_vs_n,
+    agent_form_vs_n,
+    infinite_vs_m
+);
 criterion_main!(benches);

@@ -129,7 +129,11 @@ impl GroupDynamics for AgentPopulation {
 
     fn write_distribution(&self, out: &mut [f64]) {
         let m = self.params.num_options();
-        assert_eq!(out.len(), m, "buffer length must equal the number of options");
+        assert_eq!(
+            out.len(),
+            m,
+            "buffer length must equal the number of options"
+        );
         let total: u64 = self.counts.iter().sum();
         if total == 0 {
             out.fill(1.0 / m as f64);
@@ -142,7 +146,11 @@ impl GroupDynamics for AgentPopulation {
 
     fn step(&mut self, rewards: &[bool], rng: &mut dyn RngCore) {
         let m = self.params.num_options();
-        assert_eq!(rewards.len(), m, "rewards length must equal the number of options");
+        assert_eq!(
+            rewards.len(),
+            m,
+            "rewards length must equal the number of options"
+        );
         let mu = self.params.mu();
         let pool = std::mem::take(&mut self.committed_options);
 

@@ -143,16 +143,21 @@ impl CoupledRun {
         R: RngCore,
     {
         let m = self.finite.num_options();
-        assert_eq!(env.num_options(), m, "environment has wrong number of options");
+        assert_eq!(
+            env.num_options(),
+            m,
+            "environment has wrong number of options"
+        );
         let mut rewards = vec![false; m];
         let mut trace = CouplingTrace::default();
         for t in 1..=steps {
             env.sample(t, rng, &mut rewards);
             let dev = self.step(&rewards, rng);
             trace.deviations.push(dev);
-            trace
-                .tv
-                .push(tv_distance(&self.infinite.distribution(), &self.finite.distribution()));
+            trace.tv.push(tv_distance(
+                &self.infinite.distribution(),
+                &self.finite.distribution(),
+            ));
         }
         trace
     }
@@ -212,12 +217,22 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut small = CoupledRun::new(params(), 100);
             let tr = small.run(env.clone(), horizon, &mut rng);
-            small_total += tr.deviations.iter().copied().filter(|d| d.is_finite()).sum::<f64>();
+            small_total += tr
+                .deviations
+                .iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .sum::<f64>();
 
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut large = CoupledRun::new(params(), 100_000);
             let tr = large.run(env.clone(), horizon, &mut rng);
-            large_total += tr.deviations.iter().copied().filter(|d| d.is_finite()).sum::<f64>();
+            large_total += tr
+                .deviations
+                .iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .sum::<f64>();
         }
         assert!(
             small_total > large_total,

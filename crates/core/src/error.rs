@@ -37,7 +37,10 @@ impl fmt::Display for ParamsError {
         match self {
             ParamsError::NoOptions => write!(f, "model needs at least one option"),
             ParamsError::ProbabilityOutOfRange { name, value } => {
-                write!(f, "parameter {name} = {value} is not a probability in [0, 1]")
+                write!(
+                    f,
+                    "parameter {name} = {value} is not a probability in [0, 1]"
+                )
             }
             ParamsError::AlphaAboveBeta { alpha, beta } => {
                 write!(f, "alpha = {alpha} exceeds beta = {beta}")
@@ -122,14 +125,29 @@ mod tests {
     fn displays_are_informative() {
         let cases: Vec<Box<dyn Error>> = vec![
             Box::new(ParamsError::NoOptions),
-            Box::new(ParamsError::ProbabilityOutOfRange { name: "mu", value: 2.0 }),
-            Box::new(ParamsError::AlphaAboveBeta { alpha: 0.9, beta: 0.3 }),
-            Box::new(ParamsError::BadQuality { index: 2, value: -0.5 }),
+            Box::new(ParamsError::ProbabilityOutOfRange {
+                name: "mu",
+                value: 2.0,
+            }),
+            Box::new(ParamsError::AlphaAboveBeta {
+                alpha: 0.9,
+                beta: 0.3,
+            }),
+            Box::new(ParamsError::BadQuality {
+                index: 2,
+                value: -0.5,
+            }),
             Box::new(RegimeViolation::BetaTooSmall { beta: 0.4 }),
             Box::new(RegimeViolation::BetaTooLarge { beta: 0.99 }),
-            Box::new(RegimeViolation::MuTooLarge { mu: 0.5, max_mu: 0.01 }),
+            Box::new(RegimeViolation::MuTooLarge {
+                mu: 0.5,
+                max_mu: 0.01,
+            }),
             Box::new(RegimeViolation::MuZero),
-            Box::new(RegimeViolation::AlphaNotSymmetric { alpha: 0.2, beta: 0.6 }),
+            Box::new(RegimeViolation::AlphaNotSymmetric {
+                alpha: 0.2,
+                beta: 0.6,
+            }),
         ];
         for e in cases {
             let text = e.to_string();

@@ -148,7 +148,11 @@ impl FinitePopulation {
     /// falls back to uniform, as documented in DESIGN.md.
     pub fn write_sampling_distribution(&self, out: &mut [f64]) {
         let m = self.params.num_options();
-        assert_eq!(out.len(), m, "buffer length must equal the number of options");
+        assert_eq!(
+            out.len(),
+            m,
+            "buffer length must equal the number of options"
+        );
         let mu = self.params.mu();
         let total: u64 = self.counts.iter().sum();
         if total == 0 {
@@ -175,7 +179,11 @@ impl FinitePopulation {
         rng: &mut R,
     ) -> StepRecord {
         let m = self.params.num_options();
-        assert_eq!(rewards.len(), m, "rewards length must equal the number of options");
+        assert_eq!(
+            rewards.len(),
+            m,
+            "rewards length must equal the number of options"
+        );
 
         // Stage 1: everyone picks an option to consider.
         let mut probs = std::mem::take(&mut self.probs);
@@ -206,7 +214,11 @@ impl GroupDynamics for FinitePopulation {
 
     fn write_distribution(&self, out: &mut [f64]) {
         let m = self.params.num_options();
-        assert_eq!(out.len(), m, "buffer length must equal the number of options");
+        assert_eq!(
+            out.len(),
+            m,
+            "buffer length must equal the number of options"
+        );
         let total: u64 = self.counts.iter().sum();
         if total == 0 {
             // Popularity is undefined when everyone sat out; report the
@@ -311,7 +323,11 @@ mod tests {
         }
         let mut s = vec![0.0; 2];
         pop.write_sampling_distribution(&mut s);
-        assert!(s[1] >= 0.2 / 2.0 - 1e-12, "sampling floor violated: {}", s[1]);
+        assert!(
+            s[1] >= 0.2 / 2.0 - 1e-12,
+            "sampling floor violated: {}",
+            s[1]
+        );
         // And the committed share stays near the theoretical floor
         // mu * alpha-ish, clearly positive.
         assert!(pop.distribution()[1] > 0.0);

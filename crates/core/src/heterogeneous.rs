@@ -105,7 +105,10 @@ impl HeterogeneousPopulation {
             return Err(ParamsError::NoOptions);
         }
         if !(0.0..=1.0).contains(&mu) || mu.is_nan() {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "mu", value: mu });
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "mu",
+                value: mu,
+            });
         }
         if profiles.is_empty() {
             return Err(ParamsError::NoOptions);
@@ -160,7 +163,11 @@ impl GroupDynamics for HeterogeneousPopulation {
     }
 
     fn write_distribution(&self, out: &mut [f64]) {
-        assert_eq!(out.len(), self.m, "buffer length must equal the number of options");
+        assert_eq!(
+            out.len(),
+            self.m,
+            "buffer length must equal the number of options"
+        );
         let total: u64 = self.counts.iter().sum();
         if total == 0 {
             out.fill(1.0 / self.m as f64);
@@ -172,7 +179,11 @@ impl GroupDynamics for HeterogeneousPopulation {
     }
 
     fn step(&mut self, rewards: &[bool], rng: &mut dyn RngCore) {
-        assert_eq!(rewards.len(), self.m, "rewards length must equal the number of options");
+        assert_eq!(
+            rewards.len(),
+            self.m,
+            "rewards length must equal the number of options"
+        );
         let pool = std::mem::take(&mut self.committed_options);
         let mut new_counts = vec![0u64; self.m];
         let mut new_pool = Vec::with_capacity(self.choices.len());
@@ -261,7 +272,11 @@ mod tests {
             env.sample(t, &mut rng, &mut rewards);
             pop.step(&rewards, &mut rng);
         }
-        assert!(pop.distribution()[0] > 0.85, "share {:?}", pop.distribution());
+        assert!(
+            pop.distribution()[0] > 0.85,
+            "share {:?}",
+            pop.distribution()
+        );
     }
 
     #[test]

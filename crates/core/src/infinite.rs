@@ -105,7 +105,11 @@ impl InfiniteDynamics {
     /// expectation; all stochasticity lives in `rewards`).
     pub fn step_rewards(&mut self, rewards: &[bool]) {
         let m = self.params.num_options();
-        assert_eq!(rewards.len(), m, "rewards length must equal the number of options");
+        assert_eq!(
+            rewards.len(),
+            m,
+            "rewards length must equal the number of options"
+        );
         let mu = self.params.mu();
         let mut z = 0.0;
         for (j, p) in self.probs.iter_mut().enumerate() {

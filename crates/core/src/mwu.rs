@@ -86,7 +86,11 @@ impl StochasticMwu {
     /// Panics if `rewards.len() != m`.
     pub fn step_rewards(&mut self, rewards: &[bool]) {
         let m = self.params.num_options();
-        assert_eq!(rewards.len(), m, "rewards length must equal the number of options");
+        assert_eq!(
+            rewards.len(),
+            m,
+            "rewards length must equal the number of options"
+        );
         let mu = self.params.mu();
         let total: f64 = self.weights.iter().sum();
         for (j, w) in self.weights.iter_mut().enumerate() {
@@ -181,7 +185,10 @@ mod tests {
         let d = mwu.distribution();
         crate::dynamics::assert_distribution(&d, 1e-9);
         assert!(mwu.log_potential().is_finite());
-        assert!(mwu.log_potential() < -1000.0, "potential should have shrunk massively");
+        assert!(
+            mwu.log_potential() < -1000.0,
+            "potential should have shrunk massively"
+        );
     }
 
     #[test]
@@ -228,8 +235,8 @@ mod tests {
             mwu.step_rewards(&rewards);
         }
         let d = p.delta();
-        let lower = t_max as f64 * ((1.0 - p.beta()).ln() + (1.0 - p.mu()).ln())
-            + d * r1_sum as f64;
+        let lower =
+            t_max as f64 * ((1.0 - p.beta()).ln() + (1.0 - p.mu()).ln()) + d * r1_sum as f64;
         assert!(
             mwu.log_potential() >= lower - 1e-6,
             "potential {} below proof lower bound {}",

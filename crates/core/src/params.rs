@@ -52,7 +52,11 @@ impl Params {
                 value: beta,
             });
         }
-        let delta = if beta < 1.0 { (beta / (1.0 - beta)).ln() } else { f64::INFINITY };
+        let delta = if beta < 1.0 {
+            (beta / (1.0 - beta)).ln()
+        } else {
+            f64::INFINITY
+        };
         let mu = (delta * delta / 6.0).min(1.0);
         Params::with_all(m, beta, 1.0 - beta, mu)
     }
@@ -193,7 +197,10 @@ impl Params {
     ///
     /// Panics if `zeta` is not in `(0, 1]`.
     pub fn min_horizon_from_floor(&self, zeta: f64) -> u64 {
-        assert!(zeta > 0.0 && zeta <= 1.0, "floor zeta must be in (0,1], got {zeta}");
+        assert!(
+            zeta > 0.0 && zeta <= 1.0,
+            "floor zeta must be in (0,1], got {zeta}"
+        );
         let d = self.delta();
         if !d.is_finite() || d <= 0.0 {
             return 1;
@@ -317,7 +324,10 @@ mod tests {
         ));
 
         let p = Params::with_all(3, 0.6, 0.4, 0.0).unwrap();
-        assert!(matches!(p.in_theorem_regime(), Err(RegimeViolation::MuZero)));
+        assert!(matches!(
+            p.in_theorem_regime(),
+            Err(RegimeViolation::MuZero)
+        ));
 
         let p = Params::with_all(3, 0.6, 0.1, 0.01).unwrap();
         assert!(matches!(
@@ -328,7 +338,10 @@ mod tests {
 
     #[test]
     fn construction_errors() {
-        assert!(matches!(Params::with_all(0, 0.6, 0.4, 0.1), Err(ParamsError::NoOptions)));
+        assert!(matches!(
+            Params::with_all(0, 0.6, 0.4, 0.1),
+            Err(ParamsError::NoOptions)
+        ));
         assert!(Params::with_all(3, 1.5, 0.4, 0.1).is_err());
         assert!(Params::with_all(3, 0.6, -0.1, 0.1).is_err());
         assert!(Params::with_all(3, 0.6, 0.4, 2.0).is_err());

@@ -136,7 +136,10 @@ impl RegretTracker {
             self.best_quality, other.best_quality,
             "cannot merge trackers with different benchmarks"
         );
-        assert_eq!(self.best_index, other.best_index, "benchmark index mismatch");
+        assert_eq!(
+            self.best_index, other.best_index,
+            "benchmark index mismatch"
+        );
         self.steps += other.steps;
         self.sum_realized += other.sum_realized;
         self.sum_conditional += other.sum_conditional;

@@ -86,7 +86,10 @@ impl BernoulliRewards {
     /// any entry is outside `[0, 1]`.
     pub fn new(etas: Vec<f64>) -> Result<Self, ParamsError> {
         if etas.is_empty() {
-            return Err(ParamsError::BadQuality { index: 0, value: f64::NAN });
+            return Err(ParamsError::BadQuality {
+                index: 0,
+                value: f64::NAN,
+            });
         }
         for (index, &value) in etas.iter().enumerate() {
             if !(0.0..=1.0).contains(&value) || value.is_nan() {
@@ -256,8 +259,7 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let mut env: Box<dyn RewardModel> =
-            Box::new(BernoulliRewards::one_good(3, 0.9).unwrap());
+        let mut env: Box<dyn RewardModel> = Box::new(BernoulliRewards::one_good(3, 0.9).unwrap());
         let mut rng = SmallRng::seed_from_u64(5);
         let mut out = vec![false; 3];
         env.sample(1, &mut rng, &mut out);

@@ -121,14 +121,21 @@ pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, probs: &[f64]) -> usize 
     probs.len() - 1
 }
 
-/// Draws from `Binomial(n, p)` exactly (delegating to `rand_distr`'s
-/// BTPE implementation), handling the `p ∈ {0, 1}` edges directly.
+/// Draws from `Binomial(n, p)` by delegating to `rand_distr`'s
+/// `Binomial`, handling the `p ∈ {0, 1}` edges directly. With the
+/// vendored shim this is exact (geometric waiting times) up to
+/// `n·min(p, 1-p) ≤ 5000` and a rounded-normal approximation beyond
+/// (see `vendor/rand_distr`); swap in the real crate for BTPE-exact
+/// draws at every scale.
 ///
 /// # Panics
 ///
 /// Panics if `p` is not a probability.
 pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    assert!((0.0..=1.0).contains(&p), "binomial p must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "binomial p must be in [0,1], got {p}"
+    );
     if n == 0 || p == 0.0 {
         return 0;
     }
@@ -141,8 +148,8 @@ pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
 }
 
 /// Draws `S ~ Multinomial(n, probs)` into `out` using the conditional
-/// binomial decomposition — exactly the joint law, in O(m) binomial
-/// draws.
+/// binomial decomposition — the joint law, in O(m) binomial draws
+/// (exact wherever [`sample_binomial`] is exact).
 ///
 /// `probs` is treated as unnormalized non-negative weights.
 ///
@@ -151,7 +158,11 @@ pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
 /// Panics if lengths mismatch, `probs` is empty, has negative entries,
 /// or sums to zero.
 pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64], out: &mut [u64]) {
-    assert_eq!(probs.len(), out.len(), "multinomial: buffer length mismatch");
+    assert_eq!(
+        probs.len(),
+        out.len(),
+        "multinomial: buffer length mismatch"
+    );
     assert!(!probs.is_empty(), "multinomial: empty distribution");
     let mut remaining_mass: f64 = probs.iter().sum();
     assert!(
@@ -314,7 +325,10 @@ mod tests {
         for (i, &p) in probs.iter().enumerate() {
             let mean = sums[i] / reps as f64;
             let expect = 500.0 * p;
-            assert!((mean - expect).abs() < expect * 0.05 + 1.0, "cat {i}: {mean} vs {expect}");
+            assert!(
+                (mean - expect).abs() < expect * 0.05 + 1.0,
+                "cat {i}: {mean} vs {expect}"
+            );
         }
     }
 

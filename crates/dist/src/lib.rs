@@ -1,0 +1,632 @@
+//! # sociolearn-dist
+//!
+//! The paper's engineering suggestion (Sections 1 and 6), realized: a
+//! round-synchronous **message-passing** implementation of the
+//! sample-then-adopt dynamics in which every node keeps **O(1)
+//! protocol state** — just the option it committed to last round — and
+//! the fleet as a whole performs the group-level multiplicative-weights
+//! update.
+//!
+//! Each round, every alive node:
+//!
+//! 1. **Samples** an option: with probability `µ` it explores
+//!    uniformly at random (no messages); otherwise it sends a *query*
+//!    to a uniformly random peer, which *replies* with the option it
+//!    committed to last round. A peer that sat out (or crashed, or
+//!    whose link dropped the message) yields no reply, and the node
+//!    retries with a fresh peer up to [`MAX_QUERY_RETRIES`] times
+//!    before falling back to a uniform random option.
+//! 2. **Adopts** the sampled option with probability `β` if the
+//!    fresh quality signal for it is good and `α` otherwise — else it
+//!    sits out this round.
+//!
+//! Conditioned on getting a reply, retrying uniform peers until one is
+//! committed is exactly a uniform draw over last round's committed
+//! nodes, i.e. a draw from the popularity distribution `Q^t` — so on a
+//! clean network this process is the finite-population dynamics of
+//! [`sociolearn_core::FinitePopulation`] (the cross-crate equivalence
+//! tests check the two agree in law). Faults — message loss via
+//! [`FaultPlan::with_drop_prob`] and scheduled crashes via
+//! [`FaultPlan::crash`] — degrade the *copying* throughput and push
+//! nodes toward the uniform fallback: learning slows but stays
+//! well-defined.
+//!
+//! # Example
+//!
+//! ```
+//! use sociolearn_core::{GroupDynamics, Params};
+//! use sociolearn_dist::{DistConfig, FaultPlan, Runtime};
+//!
+//! let params = Params::new(3, 0.6)?;
+//! let faults = FaultPlan::with_drop_prob(0.2).unwrap().crash(0, 40);
+//! let mut net = Runtime::new(DistConfig::new(params, 64).with_faults(faults), 7);
+//! for _ in 0..50 {
+//!     let rm = net.round(&[true, false, false]);
+//!     assert!(rm.committed <= rm.alive);
+//! }
+//! assert_eq!(net.distribution().len(), 3);
+//! # Ok::<(), sociolearn_core::ParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use sociolearn_core::{GroupDynamics, Params};
+
+/// Protocol state kept by one node between rounds: the option it
+/// committed to last round, or `None` if it sat out. There is no
+/// weight vector and no history — this is the O(1) memory footprint
+/// the paper's conclusion advertises.
+type NodeState = Option<u32>;
+
+/// Bytes of protocol state per node (the current option only).
+pub const NODE_STATE_BYTES: usize = std::mem::size_of::<NodeState>();
+
+// The O(1)-memory claim, enforced at compile time: a node's protocol
+// state must stay a handful of bytes (no weight vector, no history).
+const _: () = assert!(NODE_STATE_BYTES <= 8);
+
+/// How many peers a node tries per round before giving up on copying
+/// and falling back to uniform exploration. Bounds both the per-round
+/// message cost (≤ `2 · MAX_QUERY_RETRIES · N`) and the tail latency
+/// of a round.
+pub const MAX_QUERY_RETRIES: u32 = 8;
+
+/// Error building a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// The message-drop probability was outside `[0, 1]` (or NaN).
+    DropProbOutOfRange(f64),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::DropProbOutOfRange(p) => {
+                write!(f, "message drop probability must be in [0, 1], got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A deterministic schedule of injected faults: independent per-message
+/// loss and per-node crash rounds.
+///
+/// Built with [`FaultPlan::none`] or [`FaultPlan::with_drop_prob`] and
+/// extended with the [`crash`](FaultPlan::crash) builder:
+///
+/// ```
+/// use sociolearn_dist::FaultPlan;
+///
+/// let plan = FaultPlan::with_drop_prob(0.25)?.crash(3, 100).crash(4, 100);
+/// assert_eq!(plan.drop_prob(), 0.25);
+/// assert_eq!(plan.crash_round(3), Some(100));
+/// assert_eq!(plan.crash_round(0), None);
+/// # Ok::<(), sociolearn_dist::FaultPlanError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    drop_prob: f64,
+    /// `(node, round)` pairs; a node dies at the *start* of its crash
+    /// round (the earliest round wins if scheduled twice).
+    crashes: Vec<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// The inert plan: no message loss, no crashes.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan dropping every message independently with probability
+    /// `p` (queries and replies alike).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::DropProbOutOfRange`] if `p` is not a
+    /// probability.
+    pub fn with_drop_prob(p: f64) -> Result<Self, FaultPlanError> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(FaultPlanError::DropProbOutOfRange(p));
+        }
+        Ok(FaultPlan {
+            drop_prob: p,
+            crashes: Vec::new(),
+        })
+    }
+
+    /// Schedules `node` to crash at the start of `round` (1-based, the
+    /// round numbering of [`Runtime::round`]). Crashed nodes send
+    /// nothing, answer nothing, and drop out of the popularity
+    /// distribution. If the node is already scheduled, the earlier
+    /// round wins.
+    pub fn crash(mut self, node: usize, round: u64) -> Self {
+        if let Some(entry) = self.crashes.iter_mut().find(|(n, _)| *n == node) {
+            entry.1 = entry.1.min(round);
+        } else {
+            self.crashes.push((node, round));
+        }
+        self
+    }
+
+    /// The per-message drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// The scheduled crash round of `node`, if any.
+    pub fn crash_round(&self, node: usize) -> Option<u64> {
+        self.crashes
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|&(_, r)| r)
+    }
+
+    /// Number of nodes with a scheduled crash.
+    pub fn num_crashes(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_inert(&self) -> bool {
+        self.drop_prob == 0.0 && self.crashes.is_empty()
+    }
+}
+
+/// Configuration of a message-passing deployment: model parameters,
+/// fleet size, and the fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistConfig {
+    params: Params,
+    n: usize,
+    faults: FaultPlan,
+}
+
+impl DistConfig {
+    /// A fault-free deployment of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(params: Params, n: usize) -> Self {
+        assert!(n > 0, "deployment must have at least one node");
+        DistConfig {
+            params,
+            n,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Attaches a fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Fleet size `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The fault schedule.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+}
+
+/// What happened in one protocol round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// The 1-based round number.
+    pub round: u64,
+    /// Nodes alive during this round.
+    pub alive: usize,
+    /// Alive nodes that committed to an option this round.
+    pub committed: usize,
+    /// Queries sent this round (every attempt counts, delivered or
+    /// not).
+    pub queries_sent: u64,
+    /// Replies that actually reached their querier this round.
+    pub replies_received: u64,
+    /// Nodes that exhausted their query retries and fell back to a
+    /// uniform random option.
+    pub fallbacks: u64,
+    /// Nodes that explored uniformly by design (the `µ` branch; sends
+    /// no messages and is not a fallback).
+    pub explorations: u64,
+}
+
+/// Cumulative counters across all rounds of a [`Runtime`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total queries sent.
+    pub queries_sent: u64,
+    /// Total replies received.
+    pub replies_received: u64,
+    /// Total uniform fallbacks after exhausted retries.
+    pub fallbacks: u64,
+    /// Total deliberate `µ`-explorations.
+    pub explorations: u64,
+}
+
+impl Metrics {
+    /// Mean messages (queries sent + replies received) per round.
+    pub fn messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            (self.queries_sent + self.replies_received) as f64 / self.rounds as f64
+        }
+    }
+
+    fn absorb(&mut self, rm: &RoundMetrics) {
+        self.rounds += 1;
+        self.queries_sent += rm.queries_sent;
+        self.replies_received += rm.replies_received;
+        self.fallbacks += rm.fallbacks;
+        self.explorations += rm.explorations;
+    }
+}
+
+/// The round-synchronous message-passing runtime: `N` nodes of
+/// [`NODE_STATE_BYTES`] protocol state each, exchanging query/reply
+/// gossip, with faults injected per the configured [`FaultPlan`].
+///
+/// All randomness — protocol choices *and* fault realizations — comes
+/// from the seed passed to [`Runtime::new`], so runs are exactly
+/// reproducible. The runtime also implements
+/// [`GroupDynamics`](sociolearn_core::GroupDynamics) so the simulation
+/// and experiment harnesses can drive it like any in-memory dynamics
+/// (the caller-provided RNG is ignored in favor of the internal one).
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    cfg: DistConfig,
+    rng: SmallRng,
+    /// Last round's committed option per node (`None` = sat out or
+    /// crashed). This vector *is* the fleet's protocol state.
+    choices: Vec<NodeState>,
+    /// Crash round per node, resolved from the fault plan.
+    crash_at: Vec<Option<u64>>,
+    /// Cached committed counts per option over alive nodes.
+    counts: Vec<u64>,
+    /// Rounds completed.
+    round: u64,
+    metrics: Metrics,
+}
+
+impl Runtime {
+    /// Boots a fleet from the uniform initialization (node `i` starts
+    /// committed to option `i mod m`, matching the in-memory dynamics)
+    /// with all randomness derived from `seed`.
+    pub fn new(cfg: DistConfig, seed: u64) -> Self {
+        let m = cfg.params.num_options();
+        let n = cfg.n;
+        let choices: Vec<NodeState> = (0..n).map(|i| Some((i % m) as u32)).collect();
+        let mut counts = vec![0u64; m];
+        for &c in choices.iter().flatten() {
+            counts[c as usize] += 1;
+        }
+        let crash_at = (0..n).map(|i| cfg.faults.crash_round(i)).collect();
+        Runtime {
+            rng: SmallRng::seed_from_u64(seed),
+            choices,
+            crash_at,
+            counts,
+            round: 0,
+            metrics: Metrics::default(),
+            cfg,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &DistConfig {
+        &self.cfg
+    }
+
+    /// Fleet size `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.cfg.n
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_completed(&self) -> u64 {
+        self.round
+    }
+
+    /// Cumulative message/fallback counters.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Nodes that will be alive in round `round` (1-based).
+    fn alive_in(&self, node: usize, round: u64) -> bool {
+        self.crash_at[node].is_none_or(|r| round < r)
+    }
+
+    /// Executes one synchronous protocol round against the fresh
+    /// reward signals, returning what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rewards.len()` differs from the number of options.
+    pub fn round(&mut self, rewards: &[bool]) -> RoundMetrics {
+        let m = self.cfg.params.num_options();
+        assert_eq!(
+            rewards.len(),
+            m,
+            "rewards length must equal the number of options"
+        );
+        self.round += 1;
+        let t = self.round;
+        let mu = self.cfg.params.mu();
+        let drop_prob = self.cfg.faults.drop_prob();
+        let n = self.cfg.n;
+
+        let mut rm = RoundMetrics {
+            round: t,
+            ..RoundMetrics::default()
+        };
+
+        // The queryable snapshot: last round's commitments. Nodes that
+        // are dead *this* round no longer answer queries.
+        let prev = std::mem::take(&mut self.choices);
+        let mut next: Vec<NodeState> = Vec::with_capacity(n);
+        let mut counts = vec![0u64; m];
+
+        for i in 0..n {
+            if !self.alive_in(i, t) {
+                next.push(None);
+                continue;
+            }
+            rm.alive += 1;
+
+            // Stage 1: sample an option to consider.
+            let considered: u32 = if self.rng.gen_bool(mu) {
+                rm.explorations += 1;
+                self.rng.gen_range(0..m) as u32
+            } else {
+                let mut copied = None;
+                if n > 1 {
+                    for _ in 0..MAX_QUERY_RETRIES {
+                        // Ask a uniformly random *other* node what it
+                        // used last round.
+                        let mut peer = self.rng.gen_range(0..n - 1);
+                        if peer >= i {
+                            peer += 1;
+                        }
+                        rm.queries_sent += 1;
+                        // The query must survive the link...
+                        if drop_prob > 0.0 && self.rng.gen_bool(drop_prob) {
+                            continue;
+                        }
+                        // ...reach a peer that is alive and has
+                        // something to report...
+                        if !self.alive_in(peer, t) {
+                            continue;
+                        }
+                        let Some(option) = prev[peer] else { continue };
+                        // ...and the reply must survive the link back.
+                        if drop_prob > 0.0 && self.rng.gen_bool(drop_prob) {
+                            continue;
+                        }
+                        rm.replies_received += 1;
+                        copied = Some(option);
+                        break;
+                    }
+                }
+                match copied {
+                    Some(option) => option,
+                    None => {
+                        rm.fallbacks += 1;
+                        self.rng.gen_range(0..m) as u32
+                    }
+                }
+            };
+
+            // Stage 2: probe the considered option's fresh signal and
+            // adopt or sit out.
+            let adopt_p = self
+                .cfg
+                .params
+                .adopt_probability(rewards[considered as usize]);
+            if self.rng.gen_bool(adopt_p) {
+                next.push(Some(considered));
+                counts[considered as usize] += 1;
+                rm.committed += 1;
+            } else {
+                next.push(None);
+            }
+        }
+
+        self.choices = next;
+        self.counts = counts;
+        self.metrics.absorb(&rm);
+        rm
+    }
+
+    /// Committed counts per option over alive nodes (last round).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of nodes alive for the *next* round.
+    pub fn alive_count(&self) -> usize {
+        (0..self.cfg.n)
+            .filter(|&i| self.alive_in(i, self.round + 1))
+            .count()
+    }
+}
+
+impl GroupDynamics for Runtime {
+    fn num_options(&self) -> usize {
+        self.cfg.params.num_options()
+    }
+
+    fn write_distribution(&self, out: &mut [f64]) {
+        let m = self.cfg.params.num_options();
+        assert_eq!(
+            out.len(),
+            m,
+            "buffer length must equal the number of options"
+        );
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            out.fill(1.0 / m as f64);
+            return;
+        }
+        for (slot, &c) in out.iter_mut().zip(&self.counts) {
+            *slot = c as f64 / total as f64;
+        }
+    }
+
+    /// Advances one round. The message-passing runtime draws all of
+    /// its randomness (protocol and faults) from the seed given to
+    /// [`Runtime::new`]; the caller's RNG is ignored so that a
+    /// deployment's behavior is a function of its own seed alone.
+    fn step(&mut self, rewards: &[bool], _rng: &mut dyn RngCore) {
+        self.round(rewards);
+    }
+
+    fn label(&self) -> &str {
+        "social (message-passing)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::new(2, 0.65).unwrap()
+    }
+
+    #[test]
+    fn initialization_matches_uniform_start() {
+        let net = Runtime::new(DistConfig::new(Params::new(3, 0.6).unwrap(), 7), 1);
+        assert_eq!(net.counts(), &[3, 2, 2]);
+        let q = net.distribution();
+        assert!((q[0] - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_network_converges_to_best_option() {
+        let mut net = Runtime::new(DistConfig::new(params(), 500), 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let rewards = [rng.gen_bool(0.9), rng.gen_bool(0.3)];
+            net.round(&rewards);
+        }
+        assert!(
+            net.distribution()[0] > 0.8,
+            "share {}",
+            net.distribution()[0]
+        );
+    }
+
+    #[test]
+    fn round_metrics_are_internally_consistent() {
+        let faults = FaultPlan::with_drop_prob(0.3).unwrap();
+        let mut net = Runtime::new(DistConfig::new(params(), 64).with_faults(faults), 4);
+        for _ in 0..50 {
+            let rm = net.round(&[true, false]);
+            assert!(rm.committed <= rm.alive);
+            assert!(rm.alive <= 64);
+            assert!(rm.replies_received <= rm.queries_sent);
+            assert!(rm.queries_sent <= 64 * MAX_QUERY_RETRIES as u64);
+            let handled = rm.explorations + rm.fallbacks + rm.replies_received;
+            assert!(
+                handled >= rm.alive as u64,
+                "every alive node resolves stage 1"
+            );
+        }
+        let m = net.metrics();
+        assert_eq!(m.rounds, 50);
+        assert!(m.messages_per_round() > 0.0);
+    }
+
+    #[test]
+    fn total_loss_means_no_replies() {
+        let faults = FaultPlan::with_drop_prob(1.0).unwrap();
+        let mut net = Runtime::new(DistConfig::new(params(), 40).with_faults(faults), 5);
+        for _ in 0..20 {
+            net.round(&[true, true]);
+        }
+        assert_eq!(net.metrics().replies_received, 0);
+        assert!(net.metrics().fallbacks > 0);
+    }
+
+    #[test]
+    fn crashed_nodes_leave_the_distribution() {
+        let faults = FaultPlan::none().crash(0, 1).crash(1, 1).crash(2, 1);
+        let mut net = Runtime::new(DistConfig::new(params(), 4).with_faults(faults), 6);
+        let rm = net.round(&[true, true]);
+        assert_eq!(rm.alive, 1);
+        assert_eq!(net.alive_count(), 1);
+        // Only node 3 can be committed.
+        assert!(net.counts().iter().sum::<u64>() <= 1);
+    }
+
+    #[test]
+    fn single_node_fleet_never_queries() {
+        let mut net = Runtime::new(DistConfig::new(params(), 1), 7);
+        for _ in 0..30 {
+            net.round(&[true, false]);
+        }
+        assert_eq!(net.metrics().queries_sent, 0);
+        assert!(net.metrics().explorations + net.metrics().fallbacks > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let faults = FaultPlan::with_drop_prob(0.4).unwrap().crash(3, 10);
+            let mut net = Runtime::new(DistConfig::new(params(), 50).with_faults(faults), seed);
+            let mut out = Vec::new();
+            for t in 0..40 {
+                net.round(&[t % 2 == 0, t % 3 == 0]);
+                out.push(net.distribution());
+            }
+            (out, net.metrics())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn step_ignores_external_rng_stream() {
+        // Two different external RNGs must not change the trajectory.
+        let drive = |ext_seed: u64| {
+            let mut net = Runtime::new(DistConfig::new(params(), 80), 13);
+            let mut ext = SmallRng::seed_from_u64(ext_seed);
+            for _ in 0..20 {
+                net.step(&[true, false], &mut ext);
+            }
+            net.distribution()
+        };
+        assert_eq!(drive(1), drive(999));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_fleet_rejected() {
+        DistConfig::new(params(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rewards length")]
+    fn reward_width_mismatch_rejected() {
+        let mut net = Runtime::new(DistConfig::new(params(), 4), 1);
+        net.round(&[true]);
+    }
+}

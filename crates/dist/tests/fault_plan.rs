@@ -1,0 +1,116 @@
+//! Unit tests of the [`FaultPlan`] builders: drop-probability
+//! validation, per-round crash scheduling, and the inertness of
+//! `FaultPlan::none()` — beyond what the workspace-level integration
+//! tests exercise.
+
+use sociolearn_core::{GroupDynamics, Params};
+use sociolearn_dist::{DistConfig, FaultPlan, FaultPlanError, Runtime};
+
+#[test]
+fn drop_prob_validation_rejects_out_of_range() {
+    for bad in [
+        -0.1,
+        -1e-9,
+        1.0 + 1e-9,
+        2.0,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ] {
+        let err = FaultPlan::with_drop_prob(bad).expect_err("p outside [0,1] must be rejected");
+        assert!(matches!(err, FaultPlanError::DropProbOutOfRange(_)));
+        // The error is a real std error with a useful message.
+        assert!(err.to_string().contains("[0, 1]"), "message: {err}");
+    }
+}
+
+#[test]
+fn drop_prob_validation_accepts_boundaries() {
+    for good in [0.0, 1e-12, 0.5, 1.0 - 1e-12, 1.0] {
+        let plan = FaultPlan::with_drop_prob(good).expect("p in [0,1] is valid");
+        assert_eq!(plan.drop_prob(), good);
+        assert!(plan.num_crashes() == 0);
+    }
+}
+
+#[test]
+fn none_is_inert() {
+    let plan = FaultPlan::none();
+    assert!(plan.is_inert());
+    assert_eq!(plan.drop_prob(), 0.0);
+    assert_eq!(plan.num_crashes(), 0);
+    assert_eq!(plan.crash_round(0), None);
+
+    // Inert also operationally: a runtime with `none()` follows the
+    // exact trajectory of a runtime with no fault plan attached.
+    let params = Params::new(3, 0.6).unwrap();
+    let mut with_none = Runtime::new(DistConfig::new(params, 60).with_faults(plan), 9);
+    let mut without = Runtime::new(DistConfig::new(params, 60), 9);
+    for t in 0..40u64 {
+        let rewards = [t % 2 == 0, t % 3 == 0, t % 5 == 0];
+        with_none.round(&rewards);
+        without.round(&rewards);
+        assert_eq!(with_none.distribution(), without.distribution());
+    }
+    assert_eq!(with_none.metrics(), without.metrics());
+}
+
+#[test]
+fn crash_scheduling_is_per_round() {
+    let plan = FaultPlan::none().crash(2, 5);
+    assert_eq!(plan.crash_round(2), Some(5));
+
+    let params = Params::new(2, 0.65).unwrap();
+    let mut net = Runtime::new(DistConfig::new(params, 3).with_faults(plan), 1);
+    for t in 1..=10u64 {
+        let rm = net.round(&[true, true]);
+        // Node 2 is alive through round 4 and dead from round 5 on.
+        let expected_alive = if t < 5 { 3 } else { 2 };
+        assert_eq!(rm.alive, expected_alive, "round {t}");
+        assert_eq!(rm.round, t);
+    }
+}
+
+#[test]
+fn crash_builder_accumulates_nodes() {
+    let mut plan = FaultPlan::none();
+    for node in 0..7 {
+        plan = plan.crash(node, 3 + node as u64);
+    }
+    assert_eq!(plan.num_crashes(), 7);
+    for node in 0..7 {
+        assert_eq!(plan.crash_round(node), Some(3 + node as u64));
+    }
+    assert!(!plan.is_inert());
+}
+
+#[test]
+fn duplicate_crash_keeps_earliest_round() {
+    let plan = FaultPlan::none().crash(4, 10).crash(4, 6).crash(4, 20);
+    assert_eq!(plan.crash_round(4), Some(6));
+    assert_eq!(plan.num_crashes(), 1, "one node, one schedule entry");
+}
+
+#[test]
+fn crash_composes_with_drop_prob() {
+    let plan = FaultPlan::with_drop_prob(0.3)
+        .unwrap()
+        .crash(0, 2)
+        .crash(1, 4);
+    assert_eq!(plan.drop_prob(), 0.3);
+    assert_eq!(plan.crash_round(0), Some(2));
+    assert_eq!(plan.crash_round(1), Some(4));
+    assert!(!plan.is_inert());
+}
+
+#[test]
+fn crash_at_round_one_is_dead_from_the_start() {
+    let params = Params::new(2, 0.65).unwrap();
+    let plan = FaultPlan::none().crash(0, 1);
+    let mut net = Runtime::new(DistConfig::new(params, 2).with_faults(plan), 3);
+    let rm = net.round(&[true, true]);
+    assert_eq!(rm.alive, 1);
+    // The survivor never gets a reply (its only peer is dead), so it
+    // can only explore or fall back — never copy.
+    assert_eq!(net.metrics().replies_received, 0);
+}

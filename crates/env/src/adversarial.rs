@@ -99,7 +99,11 @@ impl RewardModel for PeriodicRewards {
     }
 
     fn sample(&mut self, t: u64, _rng: &mut dyn RngCore, out: &mut [bool]) {
-        assert_eq!(out.len(), self.num_options(), "reward buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            self.num_options(),
+            "reward buffer has wrong length"
+        );
         let idx = ((t.max(1) - 1) as usize) % self.patterns.len();
         out.copy_from_slice(&self.patterns[idx]);
     }
@@ -134,9 +138,12 @@ mod tests {
 
     #[test]
     fn cycle_wraps() {
-        let mut env =
-            PeriodicRewards::new(vec![vec![true, false], vec![false, false], vec![false, true]])
-                .unwrap();
+        let mut env = PeriodicRewards::new(vec![
+            vec![true, false],
+            vec![false, false],
+            vec![false, true],
+        ])
+        .unwrap();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut out = [false; 2];
         env.sample(4, &mut rng, &mut out); // == pattern index 0

@@ -41,7 +41,10 @@ impl BestOfTwoRewards {
     /// Returns [`ParamsError`] if `p` is not a probability.
     pub fn new(p: f64) -> Result<Self, ParamsError> {
         if !(0.0..=1.0).contains(&p) || p.is_nan() {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "p", value: p });
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "p",
+                value: p,
+            });
         }
         Ok(BestOfTwoRewards { p })
     }
@@ -98,13 +101,22 @@ impl ShockDuel {
     /// or shock scale is non-positive/non-finite.
     pub fn new(p: f64, gap: f64, sigma: f64) -> Result<Self, ParamsError> {
         if !(0.0..=1.0).contains(&p) || p.is_nan() {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "p", value: p });
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "p",
+                value: p,
+            });
         }
-        if !(gap > 0.0) || !gap.is_finite() {
-            return Err(ParamsError::BadQuality { index: 0, value: gap });
+        if gap <= 0.0 || !gap.is_finite() {
+            return Err(ParamsError::BadQuality {
+                index: 0,
+                value: gap,
+            });
         }
-        if !(sigma > 0.0) || !sigma.is_finite() {
-            return Err(ParamsError::BadQuality { index: 1, value: sigma });
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(ParamsError::BadQuality {
+                index: 1,
+                value: sigma,
+            });
         }
         Ok(ShockDuel { p, gap, sigma })
     }
@@ -212,7 +224,10 @@ impl DuelPopulation {
     pub fn new(duel: ShockDuel, mu: f64, n: usize) -> Result<Self, ParamsError> {
         assert!(n > 0, "population must be non-empty");
         if !(0.0..=1.0).contains(&mu) || mu.is_nan() {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "mu", value: mu });
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "mu",
+                value: mu,
+            });
         }
         let choices: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
         let ones = choices.iter().filter(|&&c| c == 1).count() as u64;
@@ -242,7 +257,11 @@ impl DuelPopulation {
         let n = self.choices.len();
         let first_wins = rng.gen_bool(self.duel.p());
         // r_0 - r_1 for this step:
-        let reward_diff = if first_wins { self.duel.gap() } else { -self.duel.gap() };
+        let reward_diff = if first_wins {
+            self.duel.gap()
+        } else {
+            -self.duel.gap()
+        };
         let sigma = self.duel.sigma();
         let prev = self.choices.clone();
         let mut counts = [0u64; 2];
@@ -258,8 +277,11 @@ impl DuelPopulation {
             // it; otherwise keep the current option.
             if observed != *choice {
                 let xi: f64 = (0..4).map(|_| normal_sample(rng) * sigma).sum();
-                let observed_advantage =
-                    if observed == 0 { reward_diff } else { -reward_diff };
+                let observed_advantage = if observed == 0 {
+                    reward_diff
+                } else {
+                    -reward_diff
+                };
                 if observed_advantage + xi > 0.0 {
                     *choice = observed;
                 }
@@ -439,7 +461,10 @@ impl BestOfMRewards {
         }
         let total: f64 = winner_probs.iter().sum();
         if (total - 1.0).abs() > 1e-9 {
-            return Err(ParamsError::BadQuality { index: 0, value: total });
+            return Err(ParamsError::BadQuality {
+                index: 0,
+                value: total,
+            });
         }
         Ok(BestOfMRewards { winner_probs })
     }
@@ -456,7 +481,11 @@ impl RewardModel for BestOfMRewards {
     }
 
     fn sample(&mut self, _t: u64, rng: &mut dyn RngCore, out: &mut [bool]) {
-        assert_eq!(out.len(), self.winner_probs.len(), "reward buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            self.winner_probs.len(),
+            "reward buffer has wrong length"
+        );
         out.fill(false);
         let winner = sociolearn_core::sample_categorical(&mut &mut *rng, &self.winner_probs);
         out[winner] = true;
@@ -495,7 +524,10 @@ mod best_of_m_tests {
         }
         for (j, &expect) in [0.6, 0.3, 0.1].iter().enumerate() {
             let freq = wins[j] as f64 / trials as f64;
-            assert!((freq - expect).abs() < 0.01, "option {j}: {freq} vs {expect}");
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "option {j}: {freq} vs {expect}"
+            );
         }
         assert_eq!(env.best_index(), Some(0));
     }

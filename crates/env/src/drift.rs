@@ -45,13 +45,19 @@ impl PiecewiseStationary {
             return Err(ParamsError::NoOptions);
         }
         if schedule[0].0 != 1 {
-            return Err(ParamsError::BadQuality { index: 0, value: schedule[0].0 as f64 });
+            return Err(ParamsError::BadQuality {
+                index: 0,
+                value: schedule[0].0 as f64,
+            });
         }
         let m = schedule[0].1.len();
         let mut prev_start = 0;
         for (start, etas) in &schedule {
             if *start <= prev_start {
-                return Err(ParamsError::BadQuality { index: 0, value: *start as f64 });
+                return Err(ParamsError::BadQuality {
+                    index: 0,
+                    value: *start as f64,
+                });
             }
             prev_start = *start;
             if etas.len() != m {
@@ -63,7 +69,10 @@ impl PiecewiseStationary {
                 }
             }
         }
-        Ok(PiecewiseStationary { schedule, current_t: 1 })
+        Ok(PiecewiseStationary {
+            schedule,
+            current_t: 1,
+        })
     }
 
     /// The quality vector in force at step `t` (1-based).
@@ -91,7 +100,11 @@ impl RewardModel for PiecewiseStationary {
     }
 
     fn sample(&mut self, t: u64, rng: &mut dyn RngCore, out: &mut [bool]) {
-        assert_eq!(out.len(), self.num_options(), "reward buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            self.num_options(),
+            "reward buffer has wrong length"
+        );
         self.current_t = t;
         let etas = self.qualities_at(t).to_vec();
         for (slot, eta) in out.iter_mut().zip(etas) {
@@ -155,9 +168,12 @@ impl RandomWalkQualities {
             return Err(ParamsError::NoOptions);
         }
         if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo >= hi {
-            return Err(ParamsError::ProbabilityOutOfRange { name: "bounds", value: lo });
+            return Err(ParamsError::ProbabilityOutOfRange {
+                name: "bounds",
+                value: lo,
+            });
         }
-        if !(step_size > 0.0) || step_size >= (hi - lo) {
+        if !step_size.is_finite() || step_size <= 0.0 || step_size >= (hi - lo) {
             return Err(ParamsError::ProbabilityOutOfRange {
                 name: "step_size",
                 value: step_size,
@@ -168,7 +184,12 @@ impl RandomWalkQualities {
                 return Err(ParamsError::BadQuality { index, value });
             }
         }
-        Ok(RandomWalkQualities { etas, step_size, lo, hi })
+        Ok(RandomWalkQualities {
+            etas,
+            step_size,
+            lo,
+            hi,
+        })
     }
 
     /// Current quality vector.

@@ -42,7 +42,10 @@ impl ContinuousDist {
         if ok {
             Ok(())
         } else {
-            Err(ParamsError::BadQuality { index: 0, value: f64::NAN })
+            Err(ParamsError::BadQuality {
+                index: 0,
+                value: f64::NAN,
+            })
         }
     }
 
@@ -137,7 +140,10 @@ impl ThresholdRewards {
             return Err(ParamsError::NoOptions);
         }
         if !tau.is_finite() {
-            return Err(ParamsError::BadQuality { index: 0, value: tau });
+            return Err(ParamsError::BadQuality {
+                index: 0,
+                value: tau,
+            });
         }
         for d in &dists {
             d.validate()?;
@@ -162,7 +168,11 @@ impl RewardModel for ThresholdRewards {
     }
 
     fn sample(&mut self, _t: u64, rng: &mut dyn RngCore, out: &mut [bool]) {
-        assert_eq!(out.len(), self.dists.len(), "reward buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            self.dists.len(),
+            "reward buffer has wrong length"
+        );
         for (slot, d) in out.iter_mut().zip(&self.dists) {
             *slot = d.sample(&mut &mut *rng) > self.tau;
         }
@@ -208,11 +218,8 @@ mod tests {
 
     #[test]
     fn empirical_quality_matches_cdf() {
-        let mut env = ThresholdRewards::new(
-            vec![ContinuousDist::Exponential { rate: 1.0 }],
-            1.0,
-        )
-        .unwrap();
+        let mut env =
+            ThresholdRewards::new(vec![ContinuousDist::Exponential { rate: 1.0 }], 1.0).unwrap();
         let eta = env.qualities().unwrap()[0];
         // P[Exp(1) > 1] = e^-1.
         assert!((eta - (-1.0f64).exp()).abs() < 1e-12);
@@ -231,20 +238,24 @@ mod tests {
     fn validation() {
         assert!(ThresholdRewards::new(vec![], 0.0).is_err());
         assert!(
-            ThresholdRewards::new(vec![ContinuousDist::Uniform { lo: 1.0, hi: 0.0 }], 0.0)
-                .is_err()
+            ThresholdRewards::new(vec![ContinuousDist::Uniform { lo: 1.0, hi: 0.0 }], 0.0).is_err()
         );
-        assert!(
-            ThresholdRewards::new(vec![ContinuousDist::Normal { mean: 0.0, sd: -1.0 }], 0.0)
-                .is_err()
-        );
+        assert!(ThresholdRewards::new(
+            vec![ContinuousDist::Normal {
+                mean: 0.0,
+                sd: -1.0
+            }],
+            0.0
+        )
+        .is_err());
         assert!(
             ThresholdRewards::new(vec![ContinuousDist::Exponential { rate: 0.0 }], 0.0).is_err()
         );
-        assert!(
-            ThresholdRewards::new(vec![ContinuousDist::Uniform { lo: 0.0, hi: 1.0 }], f64::NAN)
-                .is_err()
-        );
+        assert!(ThresholdRewards::new(
+            vec![ContinuousDist::Uniform { lo: 0.0, hi: 1.0 }],
+            f64::NAN
+        )
+        .is_err());
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl RewardModel for TraceRewards {
     }
 
     fn sample(&mut self, t: u64, _rng: &mut dyn RngCore, out: &mut [bool]) {
-        assert_eq!(out.len(), self.num_options(), "reward buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            self.num_options(),
+            "reward buffer has wrong length"
+        );
         let idx = ((t.max(1) - 1) as usize) % self.rows.len();
         out.copy_from_slice(&self.rows[idx]);
     }

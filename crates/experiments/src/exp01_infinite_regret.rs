@@ -8,15 +8,25 @@ use sociolearn_sim::{aggregate_curves, replicate, run_one, RunConfig, SeedTree};
 use sociolearn_stats::Summary;
 
 pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
-    let betas: Vec<f64> = ctx.pick(vec![0.55, 0.65], vec![0.52, 0.55, 0.60, 0.65, 0.70, BETA_MAX]);
+    let betas: Vec<f64> = ctx.pick(
+        vec![0.55, 0.65],
+        vec![0.52, 0.55, 0.60, 0.65, 0.70, BETA_MAX],
+    );
     let ms: Vec<usize> = ctx.pick(vec![2, 10], vec![2, 10, 50]);
     let reps = ctx.pick(16u64, 64);
     let tree = SeedTree::new(ctx.seed);
 
     let mut table = MarkdownTable::new(&[
-        "m", "beta", "delta", "T* = ln m/d^2", "Regret_inf(T*)", "bound 3d", "ok",
+        "m",
+        "beta",
+        "delta",
+        "T* = ln m/d^2",
+        "Regret_inf(T*)",
+        "bound 3d",
+        "ok",
     ]);
-    let mut csv = CsvWriter::with_columns(&["m", "beta", "delta", "t_star", "regret", "ci", "bound"]);
+    let mut csv =
+        CsvWriter::with_columns(&["m", "beta", "delta", "t_star", "regret", "ci", "bound"]);
     let mut all_ok = true;
     let mut fig_series = Vec::new();
 
@@ -60,7 +70,10 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
             if m == *ms.last().expect("nonempty") {
                 let curves: Vec<_> = results.iter().map(|r| r.curve.clone()).collect();
                 let agg = aggregate_curves(&curves);
-                fig_series.push(Series::line(format!("beta={}", fmt_sig(beta, 3)), agg.mean_points()));
+                fig_series.push(Series::line(
+                    format!("beta={}", fmt_sig(beta, 3)),
+                    agg.mean_points(),
+                ));
             }
         }
     }

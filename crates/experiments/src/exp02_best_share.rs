@@ -18,7 +18,13 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let tree = SeedTree::new(ctx.seed);
 
     let mut table = MarkdownTable::new(&[
-        "eta1", "eta2", "gap", "T", "avg share of best", "bound 1-3d/gap", "ok",
+        "eta1",
+        "eta2",
+        "gap",
+        "T",
+        "avg share of best",
+        "bound 1-3d/gap",
+        "ok",
     ]);
     let mut csv = CsvWriter::with_columns(&["eta1", "eta2", "gap", "t", "share", "ci", "bound"]);
     let mut all_ok = true;
@@ -36,7 +42,10 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         let results = replicate(reps, tree.subtree(i as u64).root(), |seed| {
             run_one(InfiniteDynamics::new(params), env.clone(), &cfg, seed)
         });
-        let shares: Vec<f64> = results.iter().map(|r| r.tracker.average_best_share()).collect();
+        let shares: Vec<f64> = results
+            .iter()
+            .map(|r| r.tracker.average_best_share())
+            .collect();
         let s = Summary::from_slice(&shares);
         let bound = (1.0 - 3.0 * delta / gap).max(0.0);
         let ok = s.mean() >= bound;
@@ -50,11 +59,22 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
             fmt_sig(bound, 3),
             verdict(ok),
         ]);
-        csv.row_values(&[eta1, eta2, gap, t as f64, s.mean(), s.ci(0.95).half_width(), bound]);
+        csv.row_values(&[
+            eta1,
+            eta2,
+            gap,
+            t as f64,
+            s.mean(),
+            s.ci(0.95).half_width(),
+            bound,
+        ]);
 
         let curves: Vec<_> = results.iter().map(|r| r.best_share_curve.clone()).collect();
         let agg = aggregate_curves(&curves);
-        fig_series.push(Series::line(format!("gap={}", fmt_sig(gap, 2)), agg.mean_points()));
+        fig_series.push(Series::line(
+            format!("gap={}", fmt_sig(gap, 2)),
+            agg.mean_points(),
+        ));
     }
 
     let fig = SvgPlot::new("E2: time-averaged share of best option")

@@ -10,13 +10,22 @@ use sociolearn_stats::{loglog_fit, OnlineStats};
 
 pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let params = Params::new(3, 0.6).expect("valid params");
-    let ns: Vec<usize> = ctx.pick(vec![100, 10_000], vec![100, 1_000, 10_000, 100_000, 1_000_000]);
+    let ns: Vec<usize> = ctx.pick(
+        vec![100, 10_000],
+        vec![100, 1_000, 10_000, 100_000, 1_000_000],
+    );
     let horizon = ctx.pick(8u64, 12);
     let reps = ctx.pick(8u64, 32);
     let tree = SeedTree::new(ctx.seed);
 
     let mut table = MarkdownTable::new(&[
-        "N", "delta''(N)", "mean dev t=1", "mean dev t=3", "mean dev t=T", "bound 5^1 d''", "ok@t=1",
+        "N",
+        "delta''(N)",
+        "mean dev t=1",
+        "mean dev t=3",
+        "mean dev t=T",
+        "bound 5^1 d''",
+        "ok@t=1",
     ]);
     let mut csv = CsvWriter::with_columns(&["n", "t", "mean_dev", "bound"]);
     let mut fig_series = Vec::new();

@@ -42,8 +42,14 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         "bound 6d",
         "ok",
     ]);
-    let mut csv =
-        CsvWriter::with_columns(&["n", "regret_short", "ci_short", "regret_long", "ci_long", "gap"]);
+    let mut csv = CsvWriter::with_columns(&[
+        "n",
+        "regret_short",
+        "ci_short",
+        "regret_long",
+        "ci_long",
+        "gap",
+    ]);
     let mut all_ok = true;
     let mut gap_points = Vec::new();
 

@@ -49,7 +49,11 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     });
 
     let mut table = MarkdownTable::new(&[
-        "stage", "eps", "observed P[dev > eps]", "Chernoff bound", "ok",
+        "stage",
+        "eps",
+        "observed P[dev > eps]",
+        "Chernoff bound",
+        "ok",
     ]);
     let mut csv = CsvWriter::with_columns(&["stage", "eps", "observed", "bound"]);
     let mut all_ok = true;
@@ -60,8 +64,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         // Stage 1 (union over m options).
         let observed =
             outcomes.iter().filter(|(s, _)| *s > eps).count() as f64 / outcomes.len() as f64;
-        let bound =
-            (2.0 * m as f64 * (-(n as f64) * gamma_s * eps * eps / 3.0).exp()).min(1.0);
+        let bound = (2.0 * m as f64 * (-(n as f64) * gamma_s * eps * eps / 3.0).exp()).min(1.0);
         let ok = observed <= bound + 3.0 * (bound * (1.0 - bound) / reps as f64).sqrt() + 2e-3;
         all_ok &= ok;
         table.add_row(&[
@@ -71,15 +74,19 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
             fmt_sig(bound, 3),
             verdict(ok),
         ]);
-        csv.row(&["S".into(), eps.to_string(), observed.to_string(), bound.to_string()]);
+        csv.row(&[
+            "S".into(),
+            eps.to_string(),
+            observed.to_string(),
+            bound.to_string(),
+        ]);
 
         // Stage 2: conditional mean uses S_j ~ N/m trials with success
         // prob >= 1-beta; bound at the floor N/m * gamma_d trials.
         let observed =
             outcomes.iter().filter(|(_, d)| *d > eps).count() as f64 / outcomes.len() as f64;
         let trials = n as f64 / m as f64;
-        let bound =
-            (2.0 * m as f64 * (-trials * gamma_d * eps * eps / 3.0).exp()).min(1.0);
+        let bound = (2.0 * m as f64 * (-trials * gamma_d * eps * eps / 3.0).exp()).min(1.0);
         let ok = observed <= bound + 3.0 * (bound * (1.0 - bound) / reps as f64).sqrt() + 2e-3;
         all_ok &= ok;
         table.add_row(&[
@@ -89,7 +96,12 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
             fmt_sig(bound, 3),
             verdict(ok),
         ]);
-        csv.row(&["D".into(), eps.to_string(), observed.to_string(), bound.to_string()]);
+        csv.row(&[
+            "D".into(),
+            eps.to_string(),
+            observed.to_string(),
+            bound.to_string(),
+        ]);
     }
 
     // Histogram of stage-1 worst relative deviations, for the record.

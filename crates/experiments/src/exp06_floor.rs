@@ -21,7 +21,12 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let tree = SeedTree::new(ctx.seed);
 
     let mut table = MarkdownTable::new(&[
-        "m", "mu", "zeta", "steps observed", "violations", "exact test p<=1e-4 ok",
+        "m",
+        "mu",
+        "zeta",
+        "steps observed",
+        "violations",
+        "exact test p<=1e-4 ok",
     ]);
     let mut csv = CsvWriter::with_columns(&["m", "mu", "zeta", "steps", "violations"]);
     let mut all_ok = true;
@@ -92,7 +97,9 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         .y_label("min_j Q_j")
         .log_y();
     for (label, pts, zeta) in &fig_series {
-        fig = fig.add(Series::line(label.clone(), pts.clone())).hline(*zeta, format!("zeta ({label})"));
+        fig = fig
+            .add(Series::line(label.clone(), pts.clone()))
+            .hline(*zeta, format!("zeta ({label})"));
     }
     let mut artifacts = vec!["E6.csv".to_string()];
     let _ = csv.save(ctx.path("E6.csv"));

@@ -20,7 +20,12 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let tree = SeedTree::new(ctx.seed);
 
     let mut table = MarkdownTable::new(&[
-        "m", "beta", "T", "max |P_dyn - P_mwu|", "max |ln Phi gap|", "ok",
+        "m",
+        "beta",
+        "T",
+        "max |P_dyn - P_mwu|",
+        "max |ln Phi gap|",
+        "ok",
     ]);
     let mut csv = CsvWriter::with_columns(&["m", "beta", "t", "max_dist_gap", "potential_gap"]);
     let mut all_ok = true;

@@ -8,7 +8,9 @@ use sociolearn_baselines::{
     BestFixed, EpsilonGreedy, Exp3, FollowTheLeader, Hedge, IndependentBanditGroup,
     ThompsonSampling, Ucb1, UniformRandom,
 };
-use sociolearn_core::{BernoulliRewards, FinitePopulation, GroupDynamics, InfiniteDynamics, Params};
+use sociolearn_core::{
+    BernoulliRewards, FinitePopulation, GroupDynamics, InfiniteDynamics, Params,
+};
 use sociolearn_plot::{fmt_sig, CsvWriter, MarkdownTable, Series, SvgPlot};
 use sociolearn_sim::{replicate, run_one, RunConfig, SeedTree};
 use sociolearn_stats::Summary;
@@ -45,7 +47,9 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         (
             "UCB1 x N",
             Box::new(move |_t| {
-                Box::new(IndependentBanditGroup::new(n, || Ucb1::new(m).expect("valid")))
+                Box::new(IndependentBanditGroup::new(n, || {
+                    Ucb1::new(m).expect("valid")
+                }))
             }),
         ),
         (
@@ -67,7 +71,9 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         (
             "EXP3 x N",
             Box::new(move |_t| {
-                Box::new(IndependentBanditGroup::new(n, || Exp3::new(m, 0.1).expect("valid")))
+                Box::new(IndependentBanditGroup::new(n, || {
+                    Exp3::new(m, 0.1).expect("valid")
+                }))
             }),
         ),
         (
@@ -115,7 +121,9 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
             let sub = tree.subtree((a * horizons.len() + h) as u64);
             let finals = replicate(reps, sub.root(), |seed| {
                 let dynamics = Boxed(factory(t));
-                run_one(dynamics, env.clone(), &cfg, seed).tracker.average_regret()
+                run_one(dynamics, env.clone(), &cfg, seed)
+                    .tracker
+                    .average_regret()
             });
             let s = Summary::from_slice(&finals);
             cells.push(format!(

@@ -19,7 +19,11 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let tree = SeedTree::new(ctx.seed);
 
     let mut table = MarkdownTable::new(&[
-        "T", "beta*(T)", "delta*(T)", "regret", "sqrt(ln m / T) reference",
+        "T",
+        "beta*(T)",
+        "delta*(T)",
+        "regret",
+        "sqrt(ln m / T) reference",
     ]);
     let mut csv = CsvWriter::with_columns(&["t", "beta", "delta", "regret", "ci", "reference"]);
     let mut pts = Vec::new();

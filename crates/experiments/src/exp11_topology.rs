@@ -35,7 +35,10 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
             "Watts-Strogatz k=3 p=0.1",
             topology::watts_strogatz(n, 3, 0.1, &mut topo_rng),
         ),
-        ("Barabasi-Albert k=3", topology::barabasi_albert(n, 3, &mut topo_rng)),
+        (
+            "Barabasi-Albert k=3",
+            topology::barabasi_albert(n, 3, &mut topo_rng),
+        ),
         ("star", topology::star(n)),
         ("two cliques, 1 bridge", topology::two_cliques(n, 1)),
     ];
@@ -50,7 +53,13 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         "t to 80% majority",
     ]);
     let mut csv = CsvWriter::with_columns(&[
-        "topology", "mean_degree", "apl", "clustering", "share", "regret", "t80",
+        "topology",
+        "mean_degree",
+        "apl",
+        "clustering",
+        "share",
+        "regret",
+        "t80",
     ]);
     let mut fig_series = Vec::new();
     let mut complete_share = f64::NAN;
@@ -69,7 +78,10 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
                 seed,
             )
         });
-        let shares: Vec<f64> = results.iter().map(|r| r.tracker.average_best_share()).collect();
+        let shares: Vec<f64> = results
+            .iter()
+            .map(|r| r.tracker.average_best_share())
+            .collect();
         let regrets: Vec<f64> = results.iter().map(|r| r.tracker.average_regret()).collect();
         // Time to 80% share of best (from history snapshots).
         let t80s: Vec<f64> = results
@@ -110,7 +122,10 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
             s_t80.mean().to_string(),
         ]);
         let curves: Vec<_> = results.iter().map(|r| r.best_share_curve.clone()).collect();
-        fig_series.push(Series::line(label.to_string(), aggregate_curves(&curves).mean_points()));
+        fig_series.push(Series::line(
+            label.to_string(),
+            aggregate_curves(&curves).mean_points(),
+        ));
     }
 
     // Verdicts: the well-mixed control must learn; every connected

@@ -83,8 +83,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         let len = outcomes[0].3.len();
         let mean_traj: Vec<(f64, f64)> = (0..len)
             .map(|k| {
-                let mean =
-                    outcomes.iter().map(|o| o.3[k]).sum::<f64>() / outcomes.len() as f64;
+                let mean = outcomes.iter().map(|o| o.3[k]).sum::<f64>() / outcomes.len() as f64;
                 ((k as f64 + 1.0) * (horizon as f64 / 100.0), mean)
             })
             .collect();
@@ -94,8 +93,8 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     // Verdicts: every mu > 0 recovers by the end (share_end > 0.6), and
     // recovery time decreases as mu increases.
     let all_recover = recoveries.iter().all(|&(_, _, end)| end > 0.6);
-    let monotone_ish = recoveries.first().expect("nonempty").1
-        >= recoveries.last().expect("nonempty").1;
+    let monotone_ish =
+        recoveries.first().expect("nonempty").1 >= recoveries.last().expect("nonempty").1;
     let pass = all_recover && monotone_ish;
 
     let fig = SvgPlot::new("E12: share of post-swap best option (swap at T/2)")

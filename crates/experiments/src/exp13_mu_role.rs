@@ -20,7 +20,10 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let etas = vec![0.75, 0.55];
     let env = BernoulliRewards::new(etas.clone()).expect("valid qualities");
     let horizon = ctx.pick(800u64, 3_000);
-    let mus: Vec<f64> = ctx.pick(vec![0.0, 0.02, 0.3], vec![0.0, 0.005, 0.02, 0.069, 0.15, 0.3]);
+    let mus: Vec<f64> = ctx.pick(
+        vec![0.0, 0.02, 0.3],
+        vec![0.0, 0.005, 0.02, 0.069, 0.15, 0.3],
+    );
     let reps = ctx.pick(48u64, 96);
     let tree = SeedTree::new(ctx.seed);
 
@@ -62,8 +65,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
                     etas[0] - reward_sum / horizon as f64,
                 )
             });
-        let extinction =
-            outcomes.iter().filter(|o| o.0).count() as f64 / outcomes.len() as f64;
+        let extinction = outcomes.iter().filter(|o| o.0).count() as f64 / outcomes.len() as f64;
         let share = Summary::from_slice(&outcomes.iter().map(|o| o.1).collect::<Vec<_>>());
         let regret = Summary::from_slice(&outcomes.iter().map(|o| o.2).collect::<Vec<_>>());
         rows.push((mu, extinction, share.mean(), regret.mean()));
@@ -84,10 +86,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let mu0 = rows.iter().find(|r| r.0 == 0.0).expect("mu=0 in sweep");
     let positive: Vec<_> = rows.iter().filter(|r| r.0 > 0.0).collect();
     let worst_positive_extinction = positive.iter().map(|r| r.1).fold(0.0f64, f64::max);
-    let best_positive_regret = positive
-        .iter()
-        .map(|r| r.3)
-        .fold(f64::INFINITY, f64::min);
+    let best_positive_regret = positive.iter().map(|r| r.3).fold(f64::INFINITY, f64::min);
     // Note the mean share/regret at mu = 0 can *look* fine: the
     // non-extinct runs absorb fully on the best option. The failure
     // mode is the extinction tail, so that is what the verdict tests:
@@ -132,10 +131,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         reps = reps,
         seed = ctx.seed,
         table = table.render(),
-        regime = fmt_sig(
-            Params::new(m, 0.65).expect("valid").mu(),
-            2
-        ),
+        regime = fmt_sig(Params::new(m, 0.65).expect("valid").mu(), 2),
     );
 
     ExperimentReport {

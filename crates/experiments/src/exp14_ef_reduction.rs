@@ -36,7 +36,14 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         "ok",
     ]);
     let mut csv = CsvWriter::with_columns(&[
-        "p", "gap", "sigma", "beta_cf", "beta_mc", "share_duel", "share_reduced", "ks_p",
+        "p",
+        "gap",
+        "sigma",
+        "beta_cf",
+        "beta_mc",
+        "share_duel",
+        "share_reduced",
+        "ks_p",
     ]);
     let mut all_ok = true;
 

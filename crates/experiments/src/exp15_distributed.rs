@@ -37,32 +37,49 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         "fallbacks/round",
         "ok",
     ]);
-    let mut csv =
-        CsvWriter::with_columns(&["condition", "regret", "share", "msgs_per_round", "fallbacks"]);
+    let mut csv = CsvWriter::with_columns(&[
+        "condition",
+        "regret",
+        "share",
+        "msgs_per_round",
+        "fallbacks",
+    ]);
     let mut all_ok = true;
     let mut clean_regret = f64::NAN;
 
     let run_condition = |label: String, fault: FaultPlan, salt: u64| -> (f64, f64, f64, f64) {
         let outcomes: Vec<(f64, f64, f64, f64)> =
             replicate(reps, tree.subtree(10 + salt).root(), |seed| {
+                use sociolearn_core::{GroupDynamics, RegretTracker, RewardModel};
+                // One pass computes regret/share *and* message metrics.
+                // The snapshot/sample/step/record ordering must stay in
+                // lockstep with `sociolearn_sim::run_one`, or E15's
+                // regret becomes incomparable with the other experiments
+                // (run_one can't be reused here: it consumes the
+                // dynamics, and the metrics live on the runtime).
+                // The runtime seed is salted: `Runtime` ignores the
+                // caller RNG, so an unsalted seed would make the
+                // protocol's internal stream bit-identical to the
+                // reward stream below.
                 let dist_cfg = DistConfig::new(params, n).with_faults(fault.clone());
-                let net = Runtime::new(dist_cfg, seed);
-                let rep = run_one(net, env.clone(), &cfg, seed);
-                // run_one consumed the runtime; re-run metrics with a
-                // fresh runtime is wasteful — instead recompute from a
-                // dedicated pass.
-                let mut net = Runtime::new(DistConfig::new(params, n).with_faults(fault.clone()), seed);
+                let mut net = Runtime::new(dist_cfg, seed ^ 0xD157_5EED);
                 let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
                 let mut env2 = env.clone();
+                let best_index = env2.best_index().unwrap_or(0);
+                let best_quality = env2.best_quality().unwrap_or(1.0).clamp(0.0, 1.0);
+                let mut tracker = RegretTracker::new(best_quality, best_index);
                 let mut rewards = vec![false; m];
+                let mut before = vec![0.0; m];
                 for t in 1..=horizon {
-                    sociolearn_core::RewardModel::sample(&mut env2, t, &mut rng, &mut rewards);
+                    net.write_distribution(&mut before);
+                    env2.sample(t, &mut rng, &mut rewards);
                     net.round(&rewards);
+                    tracker.record(&before, &rewards, env2.qualities().as_deref());
                 }
                 let metrics = net.metrics();
                 (
-                    rep.tracker.average_regret(),
-                    rep.tracker.average_best_share(),
+                    tracker.average_regret(),
+                    tracker.average_best_share(),
                     metrics.messages_per_round(),
                     metrics.fallbacks as f64 / metrics.rounds as f64,
                 )
@@ -115,8 +132,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     for node in 0..n / 4 {
         crash_fault = crash_fault.crash(node, horizon / 3);
     }
-    let (regret, share, msgs, fallbacks) =
-        run_condition("crash 25%".into(), crash_fault, 100);
+    let (regret, share, msgs, fallbacks) = run_condition("crash 25%".into(), crash_fault, 100);
     let crash_ok = share > 0.6;
     all_ok &= crash_ok;
     table.add_row(&[

@@ -3,9 +3,7 @@
 //! powers the epoch argument for large `T`.
 
 use crate::{pm, verdict, ExpContext, ExperimentReport};
-use sociolearn_core::{
-    BernoulliRewards, FinitePopulation, InfiniteDynamics, Params,
-};
+use sociolearn_core::{BernoulliRewards, FinitePopulation, InfiniteDynamics, Params};
 use sociolearn_plot::{fmt_sig, CsvWriter, MarkdownTable};
 use sociolearn_sim::{replicate, run_one, RunConfig, SeedTree};
 use sociolearn_stats::Summary;
@@ -75,11 +73,16 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         let inf = Summary::from_slice(&inf_finals);
 
         // Finite dynamics from the matching counts.
-        let counts: Vec<u64> = start.iter().map(|&p| (p * n as f64).round() as u64).collect();
+        let counts: Vec<u64> = start
+            .iter()
+            .map(|&p| (p * n as f64).round() as u64)
+            .collect();
         let fin_finals = replicate(reps, tree.subtree(i as u64).child(1), |seed| {
             let total: u64 = counts.iter().sum();
             let pop = FinitePopulation::from_counts(params, n.max(total as usize), counts.clone());
-            run_one(pop, env.clone(), &cfg, seed).tracker.average_regret()
+            run_one(pop, env.clone(), &cfg, seed)
+                .tracker
+                .average_regret()
         });
         let fin = Summary::from_slice(&fin_finals);
 

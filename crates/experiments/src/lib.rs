@@ -250,7 +250,11 @@ pub fn run_by_id(id: &str, ctx: &ExpContext) -> Result<ExperimentReport, String>
 
 /// Formats a PASS/FAIL cell.
 pub(crate) fn verdict(ok: bool) -> String {
-    if ok { "PASS".into() } else { "FAIL".into() }
+    if ok {
+        "PASS".into()
+    } else {
+        "FAIL".into()
+    }
 }
 
 /// Formats `mean +/- half` with 4 significant digits.

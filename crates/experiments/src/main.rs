@@ -57,7 +57,10 @@ fn main() -> ExitCode {
     let ids: Vec<&'static str> = if target.eq_ignore_ascii_case("all") {
         registry().iter().map(|e| e.id).collect()
     } else {
-        match registry().iter().find(|e| e.id.eq_ignore_ascii_case(&target)) {
+        match registry()
+            .iter()
+            .find(|e| e.id.eq_ignore_ascii_case(&target))
+        {
             Some(e) => vec![e.id],
             None => {
                 eprintln!("unknown experiment {target:?}; use `list`");

@@ -66,10 +66,16 @@ impl Graph {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &(a, b) in edges {
             if a >= n {
-                return Err(GraphError::BadEndpoint { node: a, num_nodes: n });
+                return Err(GraphError::BadEndpoint {
+                    node: a,
+                    num_nodes: n,
+                });
             }
             if b >= n {
-                return Err(GraphError::BadEndpoint { node: b, num_nodes: n });
+                return Err(GraphError::BadEndpoint {
+                    node: b,
+                    num_nodes: n,
+                });
             }
             if a == b {
                 continue;
@@ -233,7 +239,10 @@ mod tests {
             Graph::from_edges(2, &[(0, 5)]),
             Err(GraphError::BadEndpoint { node: 5, .. })
         ));
-        let e = GraphError::BadEndpoint { node: 5, num_nodes: 2 };
+        let e = GraphError::BadEndpoint {
+            node: 5,
+            num_nodes: 2,
+        };
         assert!(e.to_string().contains('5'));
     }
 

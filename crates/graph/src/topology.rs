@@ -89,7 +89,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, p_rewire: f64, rng: &mut R) -> Graph {
     assert!(n >= 3, "need at least three nodes");
     assert!(k > 0, "need at least one neighbor per side");
-    assert!((0.0..=1.0).contains(&p_rewire), "p_rewire must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_rewire),
+        "p_rewire must be a probability"
+    );
     let mut edges = Vec::new();
     for a in 0..n {
         for d in 1..=k.min(n / 2) {

@@ -87,12 +87,12 @@ impl AsciiChart {
         if finite.is_empty() {
             return "(no data)\n".to_string();
         }
-        let mut lo = self.y_min.unwrap_or_else(|| {
-            finite.iter().copied().fold(f64::INFINITY, f64::min)
-        });
-        let mut hi = self.y_max.unwrap_or_else(|| {
-            finite.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-        });
+        let mut lo = self
+            .y_min
+            .unwrap_or_else(|| finite.iter().copied().fold(f64::INFINITY, f64::min));
+        let mut hi = self
+            .y_max
+            .unwrap_or_else(|| finite.iter().copied().fold(f64::NEG_INFINITY, f64::max));
         if lo == hi {
             lo -= 0.5;
             hi += 0.5;
@@ -215,7 +215,9 @@ mod tests {
 
     #[test]
     fn fixed_y_range_clamps() {
-        let out = AsciiChart::new(20, 5).with_y_range(0.0, 1.0).render(&[5.0, -5.0]);
+        let out = AsciiChart::new(20, 5)
+            .with_y_range(0.0, 1.0)
+            .render(&[5.0, -5.0]);
         assert!(out.contains('1'));
         assert!(out.contains('0'));
     }
@@ -237,7 +239,9 @@ mod tests {
 
     #[test]
     fn caption_is_first_line() {
-        let out = AsciiChart::new(20, 4).with_caption("hello").render(&[1.0, 2.0]);
+        let out = AsciiChart::new(20, 4)
+            .with_caption("hello")
+            .render(&[1.0, 2.0]);
         assert!(out.starts_with("hello\n"));
     }
 }

@@ -110,11 +110,7 @@ impl std::fmt::Display for CsvWriter {
 }
 
 fn join_csv(cells: &[String]) -> String {
-    cells
-        .iter()
-        .map(|c| quote(c))
-        .collect::<Vec<_>>()
-        .join(",")
+    cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
 }
 
 fn quote(cell: &str) -> String {

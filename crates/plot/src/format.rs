@@ -48,7 +48,9 @@ pub fn fmt_sci(x: f64, sig: usize) -> String {
     let s = format!("{:.*e}", sig - 1, x);
     // Trim redundant mantissa zeros ("1.00e7" -> "1e7") and a zero
     // exponent ("1e0" -> "1").
-    let (mantissa, exponent) = s.split_once('e').expect("e-notation always has an exponent");
+    let (mantissa, exponent) = s
+        .split_once('e')
+        .expect("e-notation always has an exponent");
     let mantissa = trim_trailing_zeros(mantissa);
     if exponent == "0" {
         mantissa
@@ -73,7 +75,7 @@ mod tests {
     #[test]
     fn fixed_range() {
         assert_eq!(fmt_sig(1.0, 3), "1");
-        assert_eq!(fmt_sig(3.14159, 4), "3.142");
+        assert_eq!(fmt_sig(8.7659, 4), "8.766");
         assert_eq!(fmt_sig(-2.5, 2), "-2.5");
         assert_eq!(fmt_sig(0.001234, 2), "0.0012");
     }

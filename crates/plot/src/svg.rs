@@ -132,6 +132,7 @@ impl SvgPlot {
     }
 
     /// Adds a data series.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, series: Series) -> Self {
         self.series.push(series);
         self
@@ -362,7 +363,9 @@ impl SvgPlot {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -429,7 +432,10 @@ mod tests {
         let dir = std::env::temp_dir().join("sociolearn_plot_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.svg");
-        SvgPlot::new("f").add(Series::from_ys("s", &[1.0, 2.0])).save(&path).unwrap();
+        SvgPlot::new("f")
+            .add(Series::from_ys("s", &[1.0, 2.0]))
+            .save(&path)
+            .unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("<svg"));
         std::fs::remove_file(path).unwrap();

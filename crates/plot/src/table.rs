@@ -86,7 +86,13 @@ impl MarkdownTable {
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
         let sep: Vec<String> = widths.iter().map(|w| "-".repeat((*w).max(3))).collect();
-        out.push_str(&format!("|{}|", sep.iter().map(|s| format!(" {s} ")).collect::<Vec<_>>().join("|")));
+        out.push_str(&format!(
+            "|{}|",
+            sep.iter()
+                .map(|s| format!(" {s} "))
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));

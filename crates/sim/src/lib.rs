@@ -37,7 +37,7 @@ mod runner;
 mod seeds;
 mod sweep;
 
-pub use measure::{aggregate_curves, final_values, AggregatedCurve};
+pub use measure::{aggregate_curves, final_values, AggregatedCurve, CurvePoints};
 pub use parallel::{parallel_map, replicate};
 pub use runner::{run_one, Replication, RunConfig};
 pub use seeds::{SeedTree, SplitMix64};

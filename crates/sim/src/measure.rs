@@ -3,6 +3,9 @@
 use sociolearn_core::RegretCurve;
 use sociolearn_stats::{OnlineStats, Summary};
 
+/// A polyline of `(x, y)` points, ready for plotting.
+pub type CurvePoints = Vec<(f64, f64)>;
+
 /// A mean ± CI curve aggregated across replications.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregatedCurve {
@@ -16,7 +19,7 @@ pub struct AggregatedCurve {
 
 impl AggregatedCurve {
     /// `(horizon, mean)` points for plotting.
-    pub fn mean_points(&self) -> Vec<(f64, f64)> {
+    pub fn mean_points(&self) -> CurvePoints {
         self.horizons
             .iter()
             .zip(&self.means)
@@ -26,7 +29,7 @@ impl AggregatedCurve {
 
     /// `(horizon, mean + half)` and `(horizon, mean − half)` band
     /// curves.
-    pub fn band(&self) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    pub fn band(&self) -> (CurvePoints, CurvePoints) {
         let hi = self
             .horizons
             .iter()
@@ -71,7 +74,11 @@ pub fn aggregate_curves(curves: &[RegretCurve]) -> AggregatedCurve {
             acc.push(c.values[i]);
         }
         means.push(acc.mean());
-        ci_half.push(if acc.count() >= 2 { acc.ci_half_width(0.95) } else { 0.0 });
+        ci_half.push(if acc.count() >= 2 {
+            acc.ci_half_width(0.95)
+        } else {
+            0.0
+        });
     }
     AggregatedCurve {
         horizons,

@@ -77,7 +77,11 @@ where
     M: RewardModel,
 {
     let m = dynamics.num_options();
-    assert_eq!(m, env.num_options(), "dynamics/environment option count mismatch");
+    assert_eq!(
+        m,
+        env.num_options(),
+        "dynamics/environment option count mismatch"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
 
     let best_index = env.best_index().unwrap_or(0);

@@ -47,6 +47,9 @@ mod tests {
     #[test]
     fn grid3_order() {
         let pts = grid3(&[1, 2], &[10], &[100, 200]);
-        assert_eq!(pts, vec![(1, 10, 100), (1, 10, 200), (2, 10, 100), (2, 10, 200)]);
+        assert_eq!(
+            pts,
+            vec![(1, 10, 100), (1, 10, 200), (2, 10, 100), (2, 10, 200)]
+        );
     }
 }

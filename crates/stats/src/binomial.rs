@@ -108,7 +108,10 @@ impl BinomialTest {
     /// ```
     pub fn run(successes: u64, trials: u64, p_bound: f64) -> Self {
         assert!(trials > 0, "binomial test needs at least one trial");
-        assert!((0.0..=1.0).contains(&p_bound), "p_bound must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_bound),
+            "p_bound must be a probability"
+        );
         BinomialTest {
             successes,
             trials,
@@ -145,7 +148,11 @@ mod tests {
     fn tails_are_complementary() {
         for k in 0..=12u64 {
             let ge = binomial_tail_ge(12, k, 0.4);
-            let le = if k == 0 { 0.0 } else { binomial_tail_le(12, k - 1, 0.4) };
+            let le = if k == 0 {
+                0.0
+            } else {
+                binomial_tail_le(12, k - 1, 0.4)
+            };
             assert!((ge + le - 1.0).abs() < 1e-10, "k={k}");
         }
     }
@@ -172,7 +179,10 @@ mod tests {
         // P[X >= 50] for Binomial(50, 0.5) = 2^-50.
         let p = binomial_tail_ge(50, 50, 0.5);
         let expected = 0.5f64.powi(50);
-        assert!((p / expected - 1.0).abs() < 1e-6, "p={p}, expected={expected}");
+        assert!(
+            (p / expected - 1.0).abs() < 1e-6,
+            "p={p}, expected={expected}"
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl BootstrapCi {
 /// let ci = sociolearn_stats::bootstrap_ci(&data, 500, 0.95, &mut rng);
 /// assert!(ci.contains(ci.point));
 /// ```
-pub fn bootstrap_ci<R: Rng>(data: &[f64], resamples: usize, level: f64, rng: &mut R) -> BootstrapCi {
+pub fn bootstrap_ci<R: Rng>(
+    data: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> BootstrapCi {
     bootstrap_ci_of(data, resamples, level, rng, crate::mean)
 }
 
@@ -66,7 +71,10 @@ where
 {
     assert!(!data.is_empty(), "bootstrap on empty data");
     assert!(resamples > 0, "bootstrap needs at least one resample");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
 
     let point = statistic(data);
     let mut stats = Vec::with_capacity(resamples);

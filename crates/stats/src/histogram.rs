@@ -34,7 +34,10 @@ impl Histogram {
     /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
         assert!(lo < hi, "histogram requires lo < hi");
         Histogram {
             lo,

@@ -79,7 +79,10 @@ pub fn ks_p_value(lambda: f64) -> f64 {
 /// assert!(r.accepts_at(0.05));
 /// ```
 pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
-    assert!(!a.is_empty() && !b.is_empty(), "ks_two_sample: empty sample");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "ks_two_sample: empty sample"
+    );
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
     assert!(
@@ -129,7 +132,10 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
 pub fn ks_distance_to_cdf<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> KsResult {
     assert!(!sample.is_empty(), "ks_distance_to_cdf: empty sample");
     let mut s = sample.to_vec();
-    assert!(s.iter().all(|x| !x.is_nan()), "ks_distance_to_cdf: NaN in sample");
+    assert!(
+        s.iter().all(|x| !x.is_nan()),
+        "ks_distance_to_cdf: NaN in sample"
+    );
     s.sort_by(|x, y| x.partial_cmp(y).expect("NaN ruled out"));
     let n = s.len() as f64;
     let mut d: f64 = 0.0;

@@ -96,7 +96,10 @@ pub fn erf(x: f64) -> f64 {
 /// assert!((z - 1.959964).abs() < 1e-4);
 /// ```
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
     // Coefficients for Acklam's algorithm.
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -159,7 +162,7 @@ pub fn ln_gamma(x: f64) -> f64 {
     const G: [f64; 9] = [
         0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
+        -1_259.139_216_722_402_8,
         771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,

@@ -143,7 +143,10 @@ impl OnlineStats {
     ///
     /// Panics if `level` is not in `(0, 1)`.
     pub fn ci_half_width(&self, level: f64) -> f64 {
-        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must be in (0,1)"
+        );
         let z = crate::normal_quantile(0.5 + level / 2.0);
         z * self.std_error()
     }
@@ -276,7 +279,9 @@ mod tests {
 
     #[test]
     fn matches_two_pass_computation() {
-        let data: Vec<f64> = (0..1000).map(|i| ((i * 37 + 11) % 101) as f64 / 7.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37 + 11) % 101) as f64 / 7.0)
+            .collect();
         let s: OnlineStats = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
         let var =

@@ -16,7 +16,11 @@ pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
     let mut out = Vec::with_capacity(xs.len());
     let mut state = f64::NAN;
     for &x in xs {
-        state = if state.is_nan() { x } else { alpha * x + (1.0 - alpha) * state };
+        state = if state.is_nan() {
+            x
+        } else {
+            alpha * x + (1.0 - alpha) * state
+        };
         out.push(state);
     }
     out
@@ -91,10 +95,7 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    let num: f64 = xs
-        .windows(lag + 1)
-        .map(|w| (w[0] - m) * (w[lag] - m))
-        .sum();
+    let num: f64 = xs.windows(lag + 1).map(|w| (w[0] - m) * (w[lag] - m)).sum();
     num / denom
 }
 
@@ -122,7 +123,9 @@ mod tests {
 
     #[test]
     fn moving_average_smooths() {
-        let xs: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let xs: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let sm = moving_average(&xs, 10);
         // After the warmup the average should hover near 0.5.
         for &v in &sm[10..] {

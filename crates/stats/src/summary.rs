@@ -55,19 +55,19 @@ impl std::fmt::Display for ConfidenceInterval {
 /// which is within ~1% for `df >= 8`.
 fn t_critical(df: u64, level: f64) -> f64 {
     const TABLE_95: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     const TABLE_99: [f64; 30] = [
-        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055,
-        3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
-        2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+        2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+        2.771, 2.763, 2.756, 2.750,
     ];
     const TABLE_90: [f64; 30] = [
-        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782,
-        1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
-        1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+        1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+        1.703, 1.701, 1.699, 1.697,
     ];
     if df == 0 {
         return f64::INFINITY;
@@ -131,7 +131,11 @@ impl Summary {
         } else {
             sorted.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (sorted.len() - 1) as f64
         };
-        Summary { sorted, mean: m, var }
+        Summary {
+            sorted,
+            mean: m,
+            var,
+        }
     }
 
     /// Number of observations.
@@ -193,7 +197,10 @@ impl Summary {
     /// Panics on an empty summary or `q` outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "quantile of empty Summary");
-        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile requires q in [0,1], got {q}"
+        );
         let n = self.sorted.len();
         if n == 1 {
             return self.sorted[0];
@@ -220,7 +227,10 @@ impl Summary {
     ///
     /// Panics if `level` is not in `(0, 1)`.
     pub fn ci(&self, level: f64) -> ConfidenceInterval {
-        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must be in (0,1)"
+        );
         let n = self.sorted.len() as u64;
         let hw = if n < 2 {
             0.0

@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hedge_tracker.record(&hedge_before, &rewards, q.as_deref());
     }
 
-    let mut table = MarkdownTable::new(&["learner", "memory per agent", "avg regret", "share on best"]);
+    let mut table =
+        MarkdownTable::new(&["learner", "memory per agent", "avg regret", "share on best"]);
     table.add_row(&[
         format!("{investors} copy-traders (social dynamics)"),
         "current pick only".into(),

@@ -10,7 +10,11 @@ use sociolearn::experiments::{registry, run_by_id, ExpContext};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = ExpContext::new("results", true, 20170508);
-    println!("running {} experiments (quick mode, seed {})\n", registry().len(), ctx.seed);
+    println!(
+        "running {} experiments (quick mode, seed {})\n",
+        registry().len(),
+        ctx.seed
+    );
     let mut failures = Vec::new();
     for exp in registry() {
         let started = std::time::Instant::now();

@@ -24,7 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(1995);
     let beta_mc = duel.estimate_beta(200_000, &mut rng);
 
-    println!("continuous word-of-mouth model: p = {}, gap = {}, sigma = {}", duel.p(), duel.gap(), duel.sigma());
+    println!(
+        "continuous word-of-mouth model: p = {}, gap = {}, sigma = {}",
+        duel.p(),
+        duel.gap(),
+        duel.sigma()
+    );
     println!(
         "induced binary parameters: eta = ({eta1:.3}, {eta2:.3}), beta = {beta:.4} \
          (Monte Carlo check: {beta_mc:.4}), alpha = {alpha:.4}\n"

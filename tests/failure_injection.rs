@@ -73,7 +73,10 @@ fn dist_half_crash_mid_run_still_converges() {
         }
     }
     tail_share /= 100.0;
-    assert!(tail_share > 0.8, "survivors failed to converge: {tail_share}");
+    assert!(
+        tail_share > 0.8,
+        "survivors failed to converge: {tail_share}"
+    );
 }
 
 #[test]

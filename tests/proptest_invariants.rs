@@ -10,6 +10,7 @@ use sociolearn::core::{
     assert_distribution, ratio_deviation, sample_multinomial, tv_distance, AgentPopulation,
     AliasTable, FinitePopulation, GroupDynamics, InfiniteDynamics, Params, StochasticMwu,
 };
+use sociolearn::dist::{DistConfig, FaultPlan, Runtime};
 use sociolearn::stats::Summary;
 
 /// Strategy: valid model parameters (alpha <= beta enforced).
@@ -172,6 +173,62 @@ proptest! {
         prop_assert!(p.epoch_length() >= p.min_horizon());
         // The default mu respects the regime.
         prop_assert!(p.in_theorem_regime().is_ok());
+    }
+
+    #[test]
+    fn dist_runtime_invariants(
+        seed in any::<u64>(),
+        m in 2usize..5,
+        n in 1usize..80,
+        steps in 1usize..15,
+        drop in 0.0f64..=1.0,
+        crashes in proptest::collection::vec((0usize..80, 1u64..15), 0..6),
+    ) {
+        let params = Params::new(m, 0.65).expect("valid");
+        let mut fault = FaultPlan::with_drop_prob(drop).expect("valid drop prob");
+        for (node, round) in crashes {
+            fault = fault.crash(node % n, round);
+        }
+        let mut net = Runtime::new(DistConfig::new(params, n).with_faults(fault), seed);
+        let mut reward_rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        for _ in 0..steps {
+            let rewards: Vec<bool> =
+                (0..m).map(|_| rand::Rng::gen_bool(&mut reward_rng, 0.5)).collect();
+            let rm = net.round(&rewards);
+            // Round metrics are mutually consistent.
+            prop_assert!(rm.committed <= rm.alive);
+            prop_assert!(rm.alive <= n);
+            prop_assert!(rm.replies_received <= rm.queries_sent);
+            // The distribution is always a distribution, committed or
+            // not (uniform fallback when nobody is committed).
+            assert_distribution(&net.distribution(), 1e-9);
+        }
+        let totals = net.metrics();
+        prop_assert_eq!(totals.rounds, steps as u64);
+        prop_assert!(totals.replies_received <= totals.queries_sent);
+    }
+
+    #[test]
+    fn dist_runtime_deterministic_for_fixed_seed(
+        seed in any::<u64>(),
+        n in 1usize..60,
+        drop in 0.0f64..=0.9,
+    ) {
+        let params = Params::new(3, 0.6).expect("valid");
+        let run = |seed: u64| {
+            let fault = FaultPlan::with_drop_prob(drop).expect("valid").crash(0, 5);
+            let mut net = Runtime::new(DistConfig::new(params, n).with_faults(fault), seed);
+            let mut dists = Vec::new();
+            for t in 0..10u64 {
+                net.round(&[t % 2 == 0, t % 3 == 0, true]);
+                dists.push(net.distribution());
+            }
+            (dists, net.metrics())
+        };
+        let (da, ma) = run(seed);
+        let (db, mb) = run(seed);
+        prop_assert_eq!(da, db, "same seed must reproduce the trajectory");
+        prop_assert_eq!(ma, mb, "same seed must reproduce the message counters");
     }
 
     #[test]

@@ -37,9 +37,14 @@ fn theorem_4_4_bound_for_large_population() {
     for factor in [1u64, 10] {
         let cfg = RunConfig::new(factor * params.min_horizon());
         let finals = replicate(12, 7, |seed| {
-            run_one(FinitePopulation::new(params, 20_000), env.clone(), &cfg, seed)
-                .tracker
-                .average_regret()
+            run_one(
+                FinitePopulation::new(params, 20_000),
+                env.clone(),
+                &cfg,
+                seed,
+            )
+            .tracker
+            .average_regret()
         });
         let regret = mean(&finals);
         assert!(

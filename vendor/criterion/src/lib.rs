@@ -1,0 +1,306 @@
+//! Offline stand-in for the subset of the `criterion` crate (0.5 API)
+//! used by this workspace's benches. See `vendor/README.md`.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up,
+//! then timed over enough iterations to fill a short measurement
+//! window, and the mean iteration time is printed. That is enough to
+//! regenerate the repository's performance tables and to keep
+//! `cargo bench` compiling and running without registry access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement.
+const MEASURE_WINDOW: Duration = Duration::from_millis(120);
+/// Target wall-clock time for warm-up.
+const WARMUP_WINDOW: Duration = Duration::from_millis(30);
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a group (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((MEASURE_WINDOW.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed().as_secs_f64();
+        self.mean_ns = total * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a harness from the command line (`cargo bench` passes a
+    /// name filter and flags such as `--bench`; `cargo test` passes
+    /// `--test`).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        mut f: impl FnMut(&mut Bencher),
+        throughput: Option<Throughput>,
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut b = Bencher::default();
+        if self.test_mode {
+            // One pass, no timing: just prove the benchmark runs.
+            println!("testing {id} ... ok");
+            let mut probe = Bencher {
+                mean_ns: 0.0,
+                iters: 0,
+            };
+            // Run the body once with a tiny window by reusing iter()'s
+            // warm-up only; acceptable for smoke mode.
+            f(&mut probe);
+            return;
+        }
+        f(&mut b);
+        let mut line = format!("{id:<48} time: [{}]", format_time(b.mean_ns));
+        if let Some(tp) = throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            let rate = count / (b.mean_ns / 1e9);
+            let _ = write!(line, "  thrpt: [{rate:.3e} {unit}]");
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(id, f, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let tp = self.throughput;
+        self.criterion.run_one(&full, f, tp);
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let tp = self.throughput;
+        self.criterion.run_one(&full, |b| f(b, input), tp);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn bench_function_times_something() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("trivial", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            test_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("abc", |_b| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |_b, &n| seen = n);
+        group.finish();
+        assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(5.0).ends_with("ns"));
+        assert!(format_time(5.0e3).ends_with("µs"));
+        assert!(format_time(5.0e6).ends_with("ms"));
+        assert!(format_time(5.0e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for the subset of the `rand_distr` crate (0.4 API)
+//! used by this workspace: [`Distribution`], [`Binomial`] (exact up to
+//! `n·min(p, 1-p) ≤ 5000`, rounded-normal beyond), and [`Beta`]. See
+//! `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Types that can generate values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// One standard normal draw via Box–Muller (adequate for the shimmed
+/// distributions; not performance-critical in this workspace).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The binomial distribution `Binomial(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Error type of [`Binomial::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinomialError {
+    /// `p < 0` or `p` is NaN.
+    ProbabilityTooSmall,
+    /// `p > 1`.
+    ProbabilityTooLarge,
+}
+
+impl std::fmt::Display for BinomialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinomialError::ProbabilityTooSmall => write!(f, "p < 0 or p is NaN"),
+            BinomialError::ProbabilityTooLarge => write!(f, "p > 1"),
+        }
+    }
+}
+
+impl std::error::Error for BinomialError {}
+
+impl Binomial {
+    /// Constructs `Binomial(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `p` is in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, BinomialError> {
+        if p.is_nan() || p < 0.0 {
+            return Err(BinomialError::ProbabilityTooSmall);
+        }
+        if p > 1.0 {
+            return Err(BinomialError::ProbabilityTooLarge);
+        }
+        Ok(Binomial { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        // Sample the rarer outcome for speed; flip back at the end.
+        let (q, flipped) = if p <= 0.5 {
+            (p, false)
+        } else {
+            (1.0 - p, true)
+        };
+        let mean = n as f64 * q;
+        let successes = if mean > 5_000.0 {
+            // Far tail of test sizes: rounded-normal approximation with
+            // continuity correction; relative error is O(1/sqrt(n q))
+            // which is indistinguishable at this workspace's sample
+            // counts. Everything below the cutoff is sampled exactly.
+            let sd = (mean * (1.0 - q)).sqrt();
+            let draw = (mean + sd * standard_normal(rng)).round();
+            draw.clamp(0.0, n as f64) as u64
+        } else {
+            // Exact: count successes through geometric waiting times
+            // (the "second waiting time" method), expected O(n q).
+            let log_q = (1.0 - q).ln();
+            let mut count = 0u64;
+            let mut i = 0u64;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let skip = (u.ln() / log_q).floor();
+                if !skip.is_finite() || skip >= (n - i) as f64 {
+                    break;
+                }
+                i += skip as u64 + 1;
+                count += 1;
+                if i >= n {
+                    break;
+                }
+            }
+            count
+        };
+        if flipped {
+            n - successes
+        } else {
+            successes
+        }
+    }
+}
+
+/// The beta distribution `Beta(alpha, beta)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+/// Error type of [`Beta::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BetaError {
+    /// `alpha` is not finite and positive.
+    AlphaTooSmall,
+    /// `beta` is not finite and positive.
+    BetaTooSmall,
+}
+
+impl std::fmt::Display for BetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BetaError::AlphaTooSmall => write!(f, "alpha must be finite and positive"),
+            BetaError::BetaTooSmall => write!(f, "beta must be finite and positive"),
+        }
+    }
+}
+
+impl std::error::Error for BetaError {}
+
+impl Beta {
+    /// Constructs `Beta(alpha, beta)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both shapes are finite and positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, BetaError> {
+        if alpha <= 0.0 || !alpha.is_finite() {
+            return Err(BetaError::AlphaTooSmall);
+        }
+        if beta <= 0.0 || !beta.is_finite() {
+            return Err(BetaError::BetaTooSmall);
+        }
+        Ok(Beta { alpha, beta })
+    }
+}
+
+/// One `Gamma(shape, 1)` draw via Marsaglia–Tsang, with the boosting
+/// trick for `shape < 1`.
+fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+impl Distribution<f64> for Beta {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let a = gamma_sample(rng, self.alpha);
+        let b = gamma_sample(rng, self.beta);
+        a / (a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_validation() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+        assert!(Binomial::new(10, 0.5).is_ok());
+    }
+
+    #[test]
+    fn binomial_moments_exact_regime() {
+        let d = Binomial::new(200, 0.3).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let reps = 20_000;
+        let draws: Vec<u64> = (0..reps).map(|_| d.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&x| x <= 200));
+        let mean = draws.iter().sum::<u64>() as f64 / reps as f64;
+        let var = draws
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / reps as f64;
+        assert!((mean - 60.0).abs() < 0.5, "mean {mean}");
+        assert!((var - 42.0).abs() < 2.5, "var {var}");
+    }
+
+    #[test]
+    fn binomial_high_p_flips() {
+        let d = Binomial::new(100, 0.9).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mean = (0..5_000).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / 5_000.0;
+        assert!((mean - 90.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_normal_tail_regime() {
+        let d = Binomial::new(1_000_000, 0.4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mean = (0..500).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / 500.0;
+        assert!((mean - 400_000.0).abs() < 200.0, "mean {mean}");
+    }
+
+    #[test]
+    fn beta_validation_and_support() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+        let d = Beta::new(2.0, 5.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let reps = 20_000;
+        let mean = (0..reps)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                assert!((0.0..=1.0).contains(&x));
+                x
+            })
+            .sum::<f64>()
+            / reps as f64;
+        // E[Beta(2,5)] = 2/7.
+        assert!((mean - 2.0 / 7.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn beta_small_shape() {
+        let d = Beta::new(0.5, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mean = (0..20_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,708 @@
+//! The event-driven runtime: the same O(1)-state-per-node protocol as
+//! [`Runtime`](crate::Runtime), executed by a seeded discrete-event
+//! scheduler instead of a global round barrier.
+//!
+//! Every message (query out, reply back) is a scheduled event with its
+//! own latency jitter, and every node owns a **bounded FIFO inbox**:
+//! a message arriving at a full queue is dropped (backpressure), and a
+//! query that never produces a reply — lost on the link, addressed to
+//! a crashed or sat-out peer, or squeezed out of a queue — is
+//! recovered by a timeout-driven retry against a fresh peer, up to
+//! [`MAX_QUERY_RETRIES`] attempts before the uniform fallback. This is
+//! the transport behavior a round-synchronous barrier hides, and the
+//! bridge toward fully asynchronous bounded-memory collaborative
+//! learning (Su–Zubeldia–Lynch, arXiv:1802.08159).
+//!
+//! Each call to [`EventRuntime::tick`] is one *epoch*: alive nodes
+//! wake at jittered virtual times, exchange messages through the
+//! scheduler, and the epoch completes when every event has been
+//! delivered and every alive node has resolved its stage-1 sample and
+//! stage-2 adoption against the epoch's fresh reward signals. Peers
+//! answer queries from the *previous* epoch's commitments, so on a
+//! clean network the per-epoch law is the same sample-then-adopt
+//! process as the round-synchronous runtime — the cross-crate
+//! equivalence tests check it agrees in law with
+//! `sociolearn_core::FinitePopulation`.
+//!
+//! Message cost is bounded exactly as in the round-synchronous
+//! runtime: at most [`MAX_QUERY_RETRIES`] queries and one reply per
+//! query per node per epoch, i.e. `≤ 2 · MAX_QUERY_RETRIES · N`
+//! messages per epoch.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use sociolearn_core::GroupDynamics;
+
+use crate::{
+    CrashTracker, DistConfig, Metrics, NodeState, ProtocolRuntime, RoundMetrics, MAX_QUERY_RETRIES,
+    NO_CHOICE,
+};
+
+/// Default capacity of each node's FIFO inbox. Messages arriving at a
+/// full inbox are dropped and counted in
+/// [`RoundMetrics::queue_drops`].
+pub const DEFAULT_QUEUE_BOUND: usize = 32;
+
+/// Upper bound on the per-message latency jitter, in scheduler ticks;
+/// each delivery draws uniformly from `1..=MAX_MESSAGE_LATENCY`.
+pub const MAX_MESSAGE_LATENCY: u64 = 8;
+
+/// Ticks between a message landing in an inbox and the owner
+/// processing it.
+const DELIVER_DELAY: u64 = 1;
+
+/// Window over which alive nodes' wake-ups are jittered at the start
+/// of an epoch.
+const WAKE_SPREAD: u64 = 32;
+
+/// How long a querier waits for a reply before retrying. Strictly
+/// larger than the worst-case round trip
+/// (`2 · MAX_MESSAGE_LATENCY + 2 · DELIVER_DELAY`), so a reply that
+/// is actually in flight always wins over its timeout.
+const RETRY_TIMEOUT: u64 = 2 * MAX_MESSAGE_LATENCY + 2 * DELIVER_DELAY + 1;
+
+/// A scheduler event. Node ids are `u32` to keep the heap entries
+/// small (the fleet bound of `u32::MAX` nodes is far beyond anything
+/// the simulations run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// An alive node starts stage 1 of the protocol.
+    Wake { node: u32 },
+    /// A query from `from` reaches `to`'s inbox (link loss already
+    /// resolved at send time).
+    QueryArrive { from: u32, to: u32 },
+    /// A reply carrying `option` reaches `node`'s inbox.
+    ReplyArrive { node: u32, option: u32 },
+    /// `node` processes the message at the head of its inbox.
+    Deliver { node: u32 },
+    /// `node`'s query `attempt` has waited long enough; retry or fall
+    /// back unless a reply already resolved it.
+    Timeout { node: u32, attempt: u32 },
+}
+
+/// A heap entry: events fire in `(at, seq)` order, so simultaneous
+/// events resolve in the deterministic order they were scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    ev: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we pop earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A message sitting in a node's inbox.
+#[derive(Debug, Clone, Copy)]
+enum Msg {
+    /// "What option did you use last epoch?"
+    Query { from: u32 },
+    /// "I used `option`."
+    Reply { option: u32 },
+}
+
+/// Per-node transport bookkeeping for the current epoch. This is
+/// scheduler state, not protocol state: the node's *protocol* memory
+/// is still just its committed option ([`crate::NODE_STATE_BYTES`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct Pending {
+    /// The outstanding query attempt (0 = none issued yet).
+    attempt: u32,
+    /// Whether stage 1 has resolved this epoch (copied, explored, or
+    /// fell back) — late replies and stale timeouts are ignored.
+    resolved: bool,
+}
+
+/// The event-driven message-passing runtime: `N` nodes of
+/// [`crate::NODE_STATE_BYTES`] protocol state each, exchanging
+/// query/reply gossip through a seeded discrete-event scheduler with
+/// per-message latency jitter, bounded FIFO inboxes, and
+/// timeout-driven retries, with faults injected per the configured
+/// [`crate::FaultPlan`].
+///
+/// All randomness — wake jitter, message latencies, protocol choices,
+/// and fault realizations — derives from the seed passed to
+/// [`EventRuntime::new`], so runs are exactly reproducible. Like
+/// [`Runtime`](crate::Runtime) it implements
+/// [`GroupDynamics`](sociolearn_core::GroupDynamics) and
+/// [`ProtocolRuntime`], so every harness drives the two runtimes
+/// interchangeably.
+///
+/// # Example
+///
+/// ```
+/// use sociolearn_core::{GroupDynamics, Params};
+/// use sociolearn_dist::{DistConfig, EventRuntime, FaultPlan};
+///
+/// let params = Params::new(3, 0.6)?;
+/// let faults = FaultPlan::with_drop_prob(0.2).unwrap().crash(0, 40);
+/// let mut net = EventRuntime::new(DistConfig::new(params, 64).with_faults(faults), 7);
+/// for _ in 0..50 {
+///     let rm = net.tick(&[true, false, false]);
+///     assert!(rm.committed <= rm.alive);
+/// }
+/// assert_eq!(net.distribution().len(), 3);
+/// # Ok::<(), sociolearn_core::ParamsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventRuntime {
+    cfg: DistConfig,
+    queue_bound: usize,
+    rng: SmallRng,
+    /// This epoch's committed option per node — the fleet's protocol
+    /// state, double-buffered with `back`.
+    choices: Vec<NodeState>,
+    /// Last epoch's commitments: the snapshot peers answer from.
+    back: Vec<NodeState>,
+    /// Crash schedule + O(1) alive counter.
+    crashes: CrashTracker,
+    /// Cached committed counts per option (this epoch).
+    counts: Vec<u64>,
+    /// The event queue, keyed by `(virtual time, sequence)`. Reused
+    /// across epochs.
+    heap: BinaryHeap<Scheduled>,
+    /// Per-node bounded FIFO inboxes. Reused across epochs.
+    inboxes: Vec<VecDeque<Msg>>,
+    /// Per-node transport bookkeeping for the current epoch.
+    pending: Vec<Pending>,
+    /// Monotone sequence number for deterministic event tie-breaks.
+    seq: u64,
+    /// High-water mark of any inbox, across all epochs.
+    max_queue_depth: usize,
+    /// Epochs completed.
+    round: u64,
+    metrics: Metrics,
+}
+
+impl EventRuntime {
+    /// Boots a fleet from the uniform initialization (node `i` starts
+    /// committed to option `i mod m`, matching both the in-memory
+    /// dynamics and the round-synchronous runtime) with all randomness
+    /// derived from `seed` and inboxes bounded at
+    /// [`DEFAULT_QUEUE_BOUND`].
+    pub fn new(cfg: DistConfig, seed: u64) -> Self {
+        let m = cfg.params().num_options();
+        let n = cfg.num_nodes();
+        let choices: Vec<NodeState> = (0..n).map(|i| (i % m) as NodeState).collect();
+        let mut counts = vec![0u64; m];
+        for &c in &choices {
+            counts[c as usize] += 1;
+        }
+        let crashes = CrashTracker::new(cfg.faults(), n);
+        EventRuntime {
+            queue_bound: DEFAULT_QUEUE_BOUND,
+            rng: SmallRng::seed_from_u64(seed),
+            choices,
+            back: vec![NO_CHOICE; n],
+            crashes,
+            counts,
+            heap: BinaryHeap::new(),
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            pending: vec![Pending::default(); n],
+            seq: 0,
+            max_queue_depth: 0,
+            round: 0,
+            metrics: Metrics::default(),
+            cfg,
+        }
+    }
+
+    /// Replaces the per-node inbox capacity (default
+    /// [`DEFAULT_QUEUE_BOUND`]). Smaller bounds increase backpressure
+    /// drops and hence retries/fallbacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` (a node must be able to receive).
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        assert!(bound > 0, "queue bound must be at least 1");
+        self.queue_bound = bound;
+        self
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &DistConfig {
+        &self.cfg
+    }
+
+    /// Fleet size `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.cfg.num_nodes()
+    }
+
+    /// Epochs completed so far.
+    pub fn rounds_completed(&self) -> u64 {
+        self.round
+    }
+
+    /// Cumulative message/fallback/backpressure counters.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Committed counts per option over alive nodes (last epoch).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of nodes alive for the *next* epoch, in O(1).
+    pub fn alive_count(&self) -> usize {
+        self.crashes.alive()
+    }
+
+    /// The per-node inbox capacity.
+    pub fn queue_bound(&self) -> usize {
+        self.queue_bound
+    }
+
+    /// The deepest any inbox has ever been — by construction never
+    /// more than [`queue_bound`](EventRuntime::queue_bound).
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    /// Pushes an event onto the schedule.
+    fn push(&mut self, at: u64, ev: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, ev });
+    }
+
+    /// One latency draw for a message about to be sent.
+    fn latency(&mut self) -> u64 {
+        self.rng.gen_range(1..=MAX_MESSAGE_LATENCY)
+    }
+
+    /// Whether a message is lost on the link, per the fault plan.
+    fn link_drops(&mut self) -> bool {
+        let p = self.cfg.faults().drop_prob();
+        p > 0.0 && self.rng.gen_bool(p)
+    }
+
+    /// Offers `msg` to `node`'s bounded inbox; on success schedules
+    /// the matching `Deliver`, on overflow drops it (backpressure).
+    fn enqueue(&mut self, node: u32, msg: Msg, now: u64, rm: &mut RoundMetrics) {
+        let inbox = &mut self.inboxes[node as usize];
+        if inbox.len() >= self.queue_bound {
+            rm.queue_drops += 1;
+            return;
+        }
+        inbox.push_back(msg);
+        self.max_queue_depth = self.max_queue_depth.max(inbox.len());
+        self.push(now + DELIVER_DELAY, Event::Deliver { node });
+    }
+
+    /// Resolves node `i`'s stage 1 with `considered` and runs stage 2
+    /// (adopt with the quality-dependent probability, else sit out).
+    fn decide(&mut self, node: u32, considered: u32, rewards: &[bool], rm: &mut RoundMetrics) {
+        let i = node as usize;
+        debug_assert!(!self.pending[i].resolved, "node resolved twice");
+        self.pending[i].resolved = true;
+        let adopt_p = self
+            .cfg
+            .params()
+            .adopt_probability(rewards[considered as usize]);
+        if self.rng.gen_bool(adopt_p) {
+            self.choices[i] = considered;
+            self.counts[considered as usize] += 1;
+            rm.committed += 1;
+        }
+    }
+
+    /// Issues query `attempt` for `node` (or the uniform fallback once
+    /// the retry budget is spent). `attempt == 1` is the stage-1 entry
+    /// point and may take the `µ`-exploration branch instead.
+    fn start_attempt(
+        &mut self,
+        node: u32,
+        attempt: u32,
+        now: u64,
+        rewards: &[bool],
+        rm: &mut RoundMetrics,
+    ) {
+        let i = node as usize;
+        let n = self.cfg.num_nodes();
+        let m = self.cfg.params().num_options();
+        if attempt == 1 {
+            let mu = self.cfg.params().mu();
+            if self.rng.gen_bool(mu) {
+                rm.explorations += 1;
+                let considered = self.rng.gen_range(0..m) as u32;
+                self.decide(node, considered, rewards, rm);
+                return;
+            }
+        }
+        if attempt > MAX_QUERY_RETRIES || n == 1 {
+            // Retry budget spent (or no peers to ask at all): uniform
+            // fallback, exactly as in the round-synchronous runtime.
+            rm.fallbacks += 1;
+            let considered = self.rng.gen_range(0..m) as u32;
+            self.decide(node, considered, rewards, rm);
+            return;
+        }
+        self.pending[i].attempt = attempt;
+        rm.queries_sent += 1;
+        // Ask a uniformly random *other* node what it used last epoch.
+        let mut peer = self.rng.gen_range(0..n - 1);
+        if peer >= i {
+            peer += 1;
+        }
+        // The retry clock starts now, reply or no reply.
+        self.push(now + RETRY_TIMEOUT, Event::Timeout { node, attempt });
+        // The query must survive the link to be scheduled for arrival.
+        if !self.link_drops() {
+            let at = now + self.latency();
+            self.push(
+                at,
+                Event::QueryArrive {
+                    from: node,
+                    to: peer as u32,
+                },
+            );
+        }
+    }
+
+    /// `node` pops and handles the head of its inbox.
+    fn deliver(&mut self, node: u32, now: u64, rewards: &[bool], rm: &mut RoundMetrics) {
+        let i = node as usize;
+        let Some(msg) = self.inboxes[i].pop_front() else {
+            return;
+        };
+        match msg {
+            Msg::Query { from } => {
+                // Answer with the option committed last epoch; a node
+                // that sat out stays silent and the querier's timeout
+                // drives the retry.
+                let option = self.back[i];
+                if option != NO_CHOICE && !self.link_drops() {
+                    let at = now + self.latency();
+                    self.push(at, Event::ReplyArrive { node: from, option });
+                }
+            }
+            Msg::Reply { option } => {
+                if self.pending[i].resolved {
+                    // A late duplicate (cannot normally happen: the
+                    // timeout window exceeds the worst-case round
+                    // trip), ignored for safety.
+                    return;
+                }
+                rm.replies_received += 1;
+                self.decide(node, option, rewards, rm);
+            }
+        }
+    }
+
+    /// Executes one scheduler epoch against the fresh reward signals,
+    /// returning what happened. The epoch runs to quiescence: every
+    /// alive node resolves both protocol stages and the event queue
+    /// drains completely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rewards.len()` differs from the number of options.
+    pub fn tick(&mut self, rewards: &[bool]) -> RoundMetrics {
+        let m = self.cfg.params().num_options();
+        assert_eq!(
+            rewards.len(),
+            m,
+            "rewards length must equal the number of options"
+        );
+        self.round += 1;
+        let t = self.round;
+        let n = self.cfg.num_nodes();
+
+        let mut rm = RoundMetrics {
+            round: t,
+            ..RoundMetrics::default()
+        };
+
+        // Swap buffers: `back` now holds last epoch's commitments (the
+        // queryable snapshot); `choices` is rewritten over the epoch.
+        std::mem::swap(&mut self.choices, &mut self.back);
+        self.counts.fill(0);
+        self.heap.clear();
+        self.seq = 0;
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+
+        // Alive nodes wake at jittered times; dead nodes are resolved
+        // (and silent) from the start.
+        for i in 0..n {
+            self.choices[i] = NO_CHOICE;
+            if self.crashes.alive_in(i, t) {
+                rm.alive += 1;
+                self.pending[i] = Pending::default();
+                let at = self.rng.gen_range(0..WAKE_SPREAD);
+                self.push(at, Event::Wake { node: i as u32 });
+            } else {
+                self.pending[i] = Pending {
+                    attempt: 0,
+                    resolved: true,
+                };
+            }
+        }
+        debug_assert_eq!(rm.alive, self.crashes.alive(), "alive counter drifted");
+
+        while let Some(Scheduled { at, ev, .. }) = self.heap.pop() {
+            match ev {
+                Event::Wake { node } => self.start_attempt(node, 1, at, rewards, &mut rm),
+                Event::QueryArrive { from, to } => {
+                    // A crashed peer swallows the query; the querier's
+                    // timeout drives the retry.
+                    if self.crashes.alive_in(to as usize, t) {
+                        self.enqueue(to, Msg::Query { from }, at, &mut rm);
+                    }
+                }
+                Event::ReplyArrive { node, option } => {
+                    self.enqueue(node, Msg::Reply { option }, at, &mut rm);
+                }
+                Event::Deliver { node } => self.deliver(node, at, rewards, &mut rm),
+                Event::Timeout { node, attempt } => {
+                    let p = self.pending[node as usize];
+                    if !p.resolved && p.attempt == attempt {
+                        self.start_attempt(node, attempt + 1, at, rewards, &mut rm);
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            self.pending.iter().all(|p| p.resolved),
+            "epoch ended with unresolved nodes"
+        );
+
+        self.crashes.advance_to(t + 1);
+        self.metrics.absorb(&rm);
+        rm
+    }
+}
+
+impl GroupDynamics for EventRuntime {
+    fn num_options(&self) -> usize {
+        self.cfg.params().num_options()
+    }
+
+    fn write_distribution(&self, out: &mut [f64]) {
+        let m = self.cfg.params().num_options();
+        assert_eq!(
+            out.len(),
+            m,
+            "buffer length must equal the number of options"
+        );
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            out.fill(1.0 / m as f64);
+            return;
+        }
+        for (slot, &c) in out.iter_mut().zip(&self.counts) {
+            *slot = c as f64 / total as f64;
+        }
+    }
+
+    /// Advances one epoch. Like the round-synchronous runtime, the
+    /// event-driven runtime draws all randomness from its own seed;
+    /// the caller's RNG is ignored.
+    fn step(&mut self, rewards: &[bool], _rng: &mut dyn RngCore) {
+        self.tick(rewards);
+    }
+
+    fn label(&self) -> &str {
+        "social (event-driven)"
+    }
+}
+
+impl ProtocolRuntime for EventRuntime {
+    fn round(&mut self, rewards: &[bool]) -> RoundMetrics {
+        self.tick(rewards)
+    }
+
+    fn metrics(&self) -> Metrics {
+        EventRuntime::metrics(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        EventRuntime::num_nodes(self)
+    }
+
+    fn alive_count(&self) -> usize {
+        EventRuntime::alive_count(self)
+    }
+
+    fn rounds_completed(&self) -> u64 {
+        EventRuntime::rounds_completed(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use sociolearn_core::Params;
+
+    fn params() -> Params {
+        Params::new(2, 0.65).unwrap()
+    }
+
+    #[test]
+    fn initialization_matches_uniform_start() {
+        let net = EventRuntime::new(DistConfig::new(Params::new(3, 0.6).unwrap(), 7), 1);
+        assert_eq!(net.counts(), &[3, 2, 2]);
+        let q = net.distribution();
+        assert!((q[0] - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_network_converges_to_best_option() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 500), 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let rewards = [rng.gen_bool(0.9), rng.gen_bool(0.3)];
+            net.tick(&rewards);
+        }
+        assert!(
+            net.distribution()[0] > 0.8,
+            "share {}",
+            net.distribution()[0]
+        );
+    }
+
+    #[test]
+    fn epoch_metrics_are_internally_consistent() {
+        let faults = FaultPlan::with_drop_prob(0.3).unwrap();
+        let mut net = EventRuntime::new(DistConfig::new(params(), 64).with_faults(faults), 4);
+        for _ in 0..50 {
+            let rm = net.tick(&[true, false]);
+            assert!(rm.committed <= rm.alive);
+            assert!(rm.alive <= 64);
+            assert!(rm.replies_received <= rm.queries_sent);
+            assert!(rm.queries_sent <= 64 * MAX_QUERY_RETRIES as u64);
+            let handled = rm.explorations + rm.fallbacks + rm.replies_received;
+            assert!(
+                handled >= rm.alive as u64,
+                "every alive node resolves stage 1"
+            );
+        }
+        assert!(net.max_queue_depth() <= net.queue_bound());
+        let m = net.metrics();
+        assert_eq!(m.rounds, 50);
+        assert!(m.messages_per_round() > 0.0);
+    }
+
+    #[test]
+    fn total_loss_means_no_replies() {
+        let faults = FaultPlan::with_drop_prob(1.0).unwrap();
+        let mut net = EventRuntime::new(DistConfig::new(params(), 40).with_faults(faults), 5);
+        for _ in 0..20 {
+            net.tick(&[true, true]);
+        }
+        assert_eq!(net.metrics().replies_received, 0);
+        assert!(net.metrics().fallbacks > 0);
+    }
+
+    #[test]
+    fn crashed_nodes_leave_the_distribution() {
+        let faults = FaultPlan::none().crash(0, 1).crash(1, 1).crash(2, 1);
+        let mut net = EventRuntime::new(DistConfig::new(params(), 4).with_faults(faults), 6);
+        let rm = net.tick(&[true, true]);
+        assert_eq!(rm.alive, 1);
+        assert_eq!(net.alive_count(), 1);
+        assert!(net.counts().iter().sum::<u64>() <= 1);
+    }
+
+    #[test]
+    fn single_node_fleet_never_queries() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 1), 7);
+        for _ in 0..30 {
+            net.tick(&[true, false]);
+        }
+        assert_eq!(net.metrics().queries_sent, 0);
+        assert!(net.metrics().explorations + net.metrics().fallbacks > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let faults = FaultPlan::with_drop_prob(0.4).unwrap().crash(3, 10);
+            let mut net =
+                EventRuntime::new(DistConfig::new(params(), 50).with_faults(faults), seed);
+            let mut out = Vec::new();
+            for t in 0..40 {
+                net.tick(&[t % 2 == 0, t % 3 == 0]);
+                out.push(net.distribution());
+            }
+            (out, net.metrics())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn tiny_queue_bound_is_respected_under_load() {
+        // A bound of 1 forces heavy backpressure in a dense fleet; the
+        // high-water mark must never exceed the bound and drops must
+        // be visible in the metrics.
+        let mut net = EventRuntime::new(DistConfig::new(params(), 128), 9).with_queue_bound(1);
+        for _ in 0..30 {
+            net.tick(&[true, false]);
+        }
+        assert!(net.max_queue_depth() <= 1);
+        assert!(net.metrics().queue_drops > 0, "bound 1 never overflowed");
+        // Backpressure degrades copying but never learning.
+        assert!(net.distribution()[0] > 0.5);
+    }
+
+    #[test]
+    fn run_batch_matches_tick_loop() {
+        let schedule: Vec<Vec<bool>> = (0..25).map(|t| vec![t % 2 == 0, t % 5 == 0]).collect();
+        let faults = FaultPlan::with_drop_prob(0.1).unwrap().crash(2, 9);
+        let mut batched = EventRuntime::new(
+            DistConfig::new(params(), 30).with_faults(faults.clone()),
+            13,
+        );
+        let mut looped = EventRuntime::new(DistConfig::new(params(), 30).with_faults(faults), 13);
+        let batch = batched.run_batch(&schedule);
+        for rewards in &schedule {
+            looped.tick(rewards);
+        }
+        assert_eq!(batched.distribution(), looped.distribution());
+        assert_eq!(batch, looped.metrics());
+    }
+
+    #[test]
+    fn step_ignores_external_rng_stream() {
+        let drive = |ext_seed: u64| {
+            let mut net = EventRuntime::new(DistConfig::new(params(), 80), 13);
+            let mut ext = SmallRng::seed_from_u64(ext_seed);
+            for _ in 0..20 {
+                net.step(&[true, false], &mut ext);
+            }
+            net.distribution()
+        };
+        assert_eq!(drive(1), drive(999));
+    }
+
+    #[test]
+    #[should_panic(expected = "queue bound")]
+    fn zero_queue_bound_rejected() {
+        let _ = EventRuntime::new(DistConfig::new(params(), 4), 1).with_queue_bound(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rewards length")]
+    fn reward_width_mismatch_rejected() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 4), 1);
+        net.tick(&[true]);
+    }
+}

@@ -31,6 +31,25 @@
 //! nodes toward the uniform fallback: learning slows but stays
 //! well-defined.
 //!
+//! # Two runtimes
+//!
+//! The crate ships two interchangeable realizations of the protocol,
+//! both O(1) protocol state per node and both driving the same
+//! [`GroupDynamics`] interface (see also [`ProtocolRuntime`]):
+//!
+//! * [`Runtime`] — **round-synchronous**: a global barrier between
+//!   rounds; every query/reply exchange completes within the round it
+//!   was issued. Allocation-free after construction (the per-node
+//!   choice vector is double-buffered and the count vector reused),
+//!   with [`ProtocolRuntime::run_batch`] reporting per-batch counter
+//!   deltas. Use it for law-level experiments and for raw throughput.
+//! * [`EventRuntime`] — **event-driven**: a seeded discrete-event
+//!   scheduler delivers query/reply messages with per-message latency
+//!   jitter through bounded per-node FIFO queues; lost messages and
+//!   unanswered queries are recovered by timeout-driven retries. Use
+//!   it to model asynchrony, queue backpressure, and transport
+//!   behavior that a global barrier hides.
+//!
 //! # Example
 //!
 //! ```
@@ -51,15 +70,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
+
+pub use event::{EventRuntime, DEFAULT_QUEUE_BOUND, MAX_MESSAGE_LATENCY};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use sociolearn_core::{GroupDynamics, Params};
 
 /// Protocol state kept by one node between rounds: the option it
-/// committed to last round, or `None` if it sat out. There is no
-/// weight vector and no history — this is the O(1) memory footprint
-/// the paper's conclusion advertises.
-type NodeState = Option<u32>;
+/// committed to last round, packed into a single `u32`
+/// ([`NO_CHOICE`] = sat out or crashed). There is no weight vector
+/// and no history — this is the O(1) memory footprint the paper's
+/// conclusion advertises, and packing it to four bytes halves the
+/// fleet state arrays the hot loop walks at scale.
+pub(crate) type NodeState = u32;
+
+/// The [`NodeState`] sentinel for "sat out this round": no real
+/// option id can collide with it (fleets have far fewer than
+/// `u32::MAX` options).
+pub(crate) const NO_CHOICE: NodeState = u32::MAX;
 
 /// Bytes of protocol state per node (the current option only).
 pub const NODE_STATE_BYTES: usize = std::mem::size_of::<NodeState>();
@@ -243,6 +273,10 @@ pub struct RoundMetrics {
     /// Nodes that explored uniformly by design (the `µ` branch; sends
     /// no messages and is not a fallback).
     pub explorations: u64,
+    /// Messages rejected by a full receiver queue (always 0 for the
+    /// round-synchronous [`Runtime`], which has no queues; the
+    /// event-driven [`EventRuntime`] counts backpressure drops here).
+    pub queue_drops: u64,
 }
 
 /// Cumulative counters across all rounds of a [`Runtime`].
@@ -258,6 +292,8 @@ pub struct Metrics {
     pub fallbacks: u64,
     /// Total deliberate `µ`-explorations.
     pub explorations: u64,
+    /// Total messages rejected by full receiver queues.
+    pub queue_drops: u64,
 }
 
 impl Metrics {
@@ -270,12 +306,84 @@ impl Metrics {
         }
     }
 
-    fn absorb(&mut self, rm: &RoundMetrics) {
+    /// The counters accumulated *since* an earlier snapshot of the
+    /// same runtime's metrics — what [`ProtocolRuntime::run_batch`]
+    /// returns for its batch.
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            rounds: self.rounds - earlier.rounds,
+            queries_sent: self.queries_sent - earlier.queries_sent,
+            replies_received: self.replies_received - earlier.replies_received,
+            fallbacks: self.fallbacks - earlier.fallbacks,
+            explorations: self.explorations - earlier.explorations,
+            queue_drops: self.queue_drops - earlier.queue_drops,
+        }
+    }
+
+    pub(crate) fn absorb(&mut self, rm: &RoundMetrics) {
         self.rounds += 1;
         self.queries_sent += rm.queries_sent;
         self.replies_received += rm.replies_received;
         self.fallbacks += rm.fallbacks;
         self.explorations += rm.explorations;
+        self.queue_drops += rm.queue_drops;
+    }
+}
+
+/// A [`FaultPlan`]'s crash schedule resolved against a concrete fleet,
+/// with a running alive counter so `alive_count` is O(1) instead of an
+/// O(N) rescan. Shared by both runtimes.
+#[derive(Debug, Clone)]
+pub(crate) struct CrashTracker {
+    /// Crash round per node, resolved from the fault plan.
+    crash_at: Vec<Option<u64>>,
+    /// Every scheduled crash round, sorted ascending.
+    crash_rounds: Vec<u64>,
+    /// Prefix of `crash_rounds` already subtracted from `alive`.
+    applied: usize,
+    /// Nodes alive in the round last passed to `advance_to`.
+    alive: usize,
+}
+
+impl CrashTracker {
+    pub(crate) fn new(faults: &FaultPlan, n: usize) -> Self {
+        let crash_at: Vec<Option<u64>> = (0..n).map(|i| faults.crash_round(i)).collect();
+        let mut crash_rounds: Vec<u64> = crash_at.iter().flatten().copied().collect();
+        crash_rounds.sort_unstable();
+        let mut tracker = CrashTracker {
+            crash_at,
+            crash_rounds,
+            applied: 0,
+            alive: n,
+        };
+        tracker.advance_to(1);
+        tracker
+    }
+
+    /// Whether `node` is alive during `round` (1-based).
+    pub(crate) fn alive_in(&self, node: usize, round: u64) -> bool {
+        self.crash_at[node].is_none_or(|r| round < r)
+    }
+
+    /// Whether any crash is scheduled at all. Lets the hot loops skip
+    /// the per-node `crash_at` lookups (a cache miss per random peer
+    /// at fleet scale) on the common crash-free plans.
+    pub(crate) fn any_scheduled(&self) -> bool {
+        !self.crash_rounds.is_empty()
+    }
+
+    /// Rolls the counter forward so [`alive`](Self::alive) reports the
+    /// population of `round`. Rounds must advance monotonically.
+    pub(crate) fn advance_to(&mut self, round: u64) {
+        while self.applied < self.crash_rounds.len() && self.crash_rounds[self.applied] <= round {
+            self.applied += 1;
+            self.alive -= 1;
+        }
+    }
+
+    /// Nodes alive in the round last advanced to, in O(1).
+    pub(crate) fn alive(&self) -> usize {
+        self.alive
     }
 }
 
@@ -289,15 +397,25 @@ impl Metrics {
 /// [`GroupDynamics`](sociolearn_core::GroupDynamics) so the simulation
 /// and experiment harnesses can drive it like any in-memory dynamics
 /// (the caller-provided RNG is ignored in favor of the internal one).
+///
+/// After construction the hot path allocates nothing: [`Runtime::round`]
+/// double-buffers the per-node choice vector and reuses the per-option
+/// count buffer. [`ProtocolRuntime::run_batch`] drives a whole reward
+/// schedule and reports the batch's counter deltas.
 #[derive(Debug, Clone)]
 pub struct Runtime {
     cfg: DistConfig,
     rng: SmallRng,
-    /// Last round's committed option per node (`None` = sat out or
-    /// crashed). This vector *is* the fleet's protocol state.
+    /// Last round's committed option per node ([`NO_CHOICE`] = sat
+    /// out or crashed). This vector *is* the fleet's protocol state.
     choices: Vec<NodeState>,
-    /// Crash round per node, resolved from the fault plan.
-    crash_at: Vec<Option<u64>>,
+    /// The double buffer: swapped with `choices` at the top of each
+    /// round, after which it holds the previous round's snapshot
+    /// (what peers answer queries from) while `choices` is rewritten
+    /// in place.
+    back: Vec<NodeState>,
+    /// Crash schedule + O(1) alive counter.
+    crashes: CrashTracker,
     /// Cached committed counts per option over alive nodes.
     counts: Vec<u64>,
     /// Rounds completed.
@@ -312,16 +430,17 @@ impl Runtime {
     pub fn new(cfg: DistConfig, seed: u64) -> Self {
         let m = cfg.params.num_options();
         let n = cfg.n;
-        let choices: Vec<NodeState> = (0..n).map(|i| Some((i % m) as u32)).collect();
+        let choices: Vec<NodeState> = (0..n).map(|i| (i % m) as NodeState).collect();
         let mut counts = vec![0u64; m];
-        for &c in choices.iter().flatten() {
+        for &c in &choices {
             counts[c as usize] += 1;
         }
-        let crash_at = (0..n).map(|i| cfg.faults.crash_round(i)).collect();
+        let crashes = CrashTracker::new(&cfg.faults, n);
         Runtime {
             rng: SmallRng::seed_from_u64(seed),
             choices,
-            crash_at,
+            back: vec![NO_CHOICE; n],
+            crashes,
             counts,
             round: 0,
             metrics: Metrics::default(),
@@ -349,13 +468,12 @@ impl Runtime {
         self.metrics
     }
 
-    /// Nodes that will be alive in round `round` (1-based).
-    fn alive_in(&self, node: usize, round: u64) -> bool {
-        self.crash_at[node].is_none_or(|r| round < r)
-    }
-
     /// Executes one synchronous protocol round against the fresh
     /// reward signals, returning what happened.
+    ///
+    /// Allocation-free: the previous round's choices move into the
+    /// back buffer by a pointer swap, this round's choices are written
+    /// in place, and the count buffer is zeroed and reused.
     ///
     /// # Panics
     ///
@@ -378,15 +496,17 @@ impl Runtime {
             ..RoundMetrics::default()
         };
 
-        // The queryable snapshot: last round's commitments. Nodes that
-        // are dead *this* round no longer answer queries.
-        let prev = std::mem::take(&mut self.choices);
-        let mut next: Vec<NodeState> = Vec::with_capacity(n);
-        let mut counts = vec![0u64; m];
+        // The queryable snapshot: last round's commitments land in
+        // `back` by a pointer swap, and `choices` (now holding the
+        // stale buffer from two rounds ago) is overwritten in place.
+        // Nodes that are dead *this* round no longer answer queries.
+        std::mem::swap(&mut self.choices, &mut self.back);
+        self.counts.fill(0);
+        let has_crashes = self.crashes.any_scheduled();
 
         for i in 0..n {
-            if !self.alive_in(i, t) {
-                next.push(None);
+            if has_crashes && !self.crashes.alive_in(i, t) {
+                self.choices[i] = NO_CHOICE;
                 continue;
             }
             rm.alive += 1;
@@ -396,7 +516,7 @@ impl Runtime {
                 rm.explorations += 1;
                 self.rng.gen_range(0..m) as u32
             } else {
-                let mut copied = None;
+                let mut copied = NO_CHOICE;
                 if n > 1 {
                     for _ in 0..MAX_QUERY_RETRIES {
                         // Ask a uniformly random *other* node what it
@@ -412,25 +532,27 @@ impl Runtime {
                         }
                         // ...reach a peer that is alive and has
                         // something to report...
-                        if !self.alive_in(peer, t) {
+                        if has_crashes && !self.crashes.alive_in(peer, t) {
                             continue;
                         }
-                        let Some(option) = prev[peer] else { continue };
+                        let option = self.back[peer];
+                        if option == NO_CHOICE {
+                            continue;
+                        }
                         // ...and the reply must survive the link back.
                         if drop_prob > 0.0 && self.rng.gen_bool(drop_prob) {
                             continue;
                         }
                         rm.replies_received += 1;
-                        copied = Some(option);
+                        copied = option;
                         break;
                     }
                 }
-                match copied {
-                    Some(option) => option,
-                    None => {
-                        rm.fallbacks += 1;
-                        self.rng.gen_range(0..m) as u32
-                    }
+                if copied == NO_CHOICE {
+                    rm.fallbacks += 1;
+                    self.rng.gen_range(0..m) as u32
+                } else {
+                    copied
                 }
             };
 
@@ -441,16 +563,16 @@ impl Runtime {
                 .params
                 .adopt_probability(rewards[considered as usize]);
             if self.rng.gen_bool(adopt_p) {
-                next.push(Some(considered));
-                counts[considered as usize] += 1;
+                self.choices[i] = considered;
+                self.counts[considered as usize] += 1;
                 rm.committed += 1;
             } else {
-                next.push(None);
+                self.choices[i] = NO_CHOICE;
             }
         }
 
-        self.choices = next;
-        self.counts = counts;
+        debug_assert_eq!(rm.alive, self.crashes.alive(), "alive counter drifted");
+        self.crashes.advance_to(t + 1);
         self.metrics.absorb(&rm);
         rm
     }
@@ -460,11 +582,10 @@ impl Runtime {
         &self.counts
     }
 
-    /// Number of nodes alive for the *next* round.
+    /// Number of nodes alive for the *next* round, in O(1) (a running
+    /// counter maintained as scheduled crashes take effect).
     pub fn alive_count(&self) -> usize {
-        (0..self.cfg.n)
-            .filter(|&i| self.alive_in(i, self.round + 1))
-            .count()
+        self.crashes.alive()
     }
 }
 
@@ -500,6 +621,81 @@ impl GroupDynamics for Runtime {
 
     fn label(&self) -> &str {
         "social (message-passing)"
+    }
+}
+
+/// The driving surface shared by the crate's two runtimes, so
+/// harnesses, experiments, and examples can swap the round-synchronous
+/// [`Runtime`] and the event-driven [`EventRuntime`] interchangeably:
+/// step the protocol with fresh rewards, read the per-round and
+/// cumulative counters, and watch the fleet shrink as crashes land.
+///
+/// Both implementors also implement
+/// [`GroupDynamics`](sociolearn_core::GroupDynamics) (a supertrait
+/// here), so anything driving the abstract dynamics — `run_one`,
+/// regret trackers, the sweep machinery — works on them unchanged.
+pub trait ProtocolRuntime: GroupDynamics {
+    /// Advances one protocol round (one scheduler epoch for the
+    /// event-driven runtime) against fresh reward signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rewards.len()` differs from the number of options.
+    fn round(&mut self, rewards: &[bool]) -> RoundMetrics;
+
+    /// Cumulative counters across all rounds so far.
+    fn metrics(&self) -> Metrics;
+
+    /// Fleet size `N`.
+    fn num_nodes(&self) -> usize;
+
+    /// Nodes alive for the next round, in O(1).
+    fn alive_count(&self) -> usize;
+
+    /// Rounds completed so far.
+    fn rounds_completed(&self) -> u64;
+
+    /// Runs one round per entry of `rewards_per_round`, returning the
+    /// [`Metrics`] accumulated over just this batch (a
+    /// [`Metrics::since`] delta) — the convenient form when only
+    /// aggregate counters matter (sweeps, benchmarks, long fault-free
+    /// stretches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any reward row's length differs from the number of
+    /// options.
+    fn run_batch<S: AsRef<[bool]>>(&mut self, rewards_per_round: &[S]) -> Metrics
+    where
+        Self: Sized,
+    {
+        let before = self.metrics();
+        for rewards in rewards_per_round {
+            self.round(rewards.as_ref());
+        }
+        self.metrics().since(&before)
+    }
+}
+
+impl ProtocolRuntime for Runtime {
+    fn round(&mut self, rewards: &[bool]) -> RoundMetrics {
+        Runtime::round(self, rewards)
+    }
+
+    fn metrics(&self) -> Metrics {
+        Runtime::metrics(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Runtime::num_nodes(self)
+    }
+
+    fn alive_count(&self) -> usize {
+        Runtime::alive_count(self)
+    }
+
+    fn rounds_completed(&self) -> u64 {
+        Runtime::rounds_completed(self)
     }
 }
 
@@ -615,6 +811,43 @@ mod tests {
             net.distribution()
         };
         assert_eq!(drive(1), drive(999));
+    }
+
+    #[test]
+    fn run_batch_matches_round_loop() {
+        let schedule: Vec<Vec<bool>> = (0..30).map(|t| vec![t % 2 == 0, t % 3 == 0]).collect();
+        let faults = FaultPlan::with_drop_prob(0.2).unwrap().crash(1, 7);
+        let mut batched =
+            Runtime::new(DistConfig::new(params(), 40).with_faults(faults.clone()), 9);
+        let mut looped = Runtime::new(DistConfig::new(params(), 40).with_faults(faults), 9);
+        let batch = batched.run_batch(&schedule);
+        for rewards in &schedule {
+            looped.round(rewards);
+        }
+        assert_eq!(batched.distribution(), looped.distribution());
+        assert_eq!(batched.metrics(), looped.metrics());
+        // The first batch starts from zero, so its delta is the total.
+        assert_eq!(batch, looped.metrics());
+        assert_eq!(batch.rounds, 30);
+        // A second batch reports only its own counters.
+        let again = batched.run_batch(&schedule[..5]);
+        assert_eq!(again.rounds, 5);
+        assert_eq!(batched.metrics().rounds, 35);
+    }
+
+    #[test]
+    fn alive_count_tracks_crash_schedule() {
+        let faults = FaultPlan::none().crash(0, 2).crash(1, 2).crash(2, 5);
+        let mut net = Runtime::new(DistConfig::new(params(), 6).with_faults(faults), 8);
+        // Nobody is dead in round 1.
+        assert_eq!(net.alive_count(), 6);
+        net.round(&[true, false]); // next round is 2: two crashes land
+        assert_eq!(net.alive_count(), 4);
+        net.round(&[true, false]);
+        assert_eq!(net.alive_count(), 4);
+        net.round(&[true, false]);
+        net.round(&[true, false]); // next round is 5: third crash lands
+        assert_eq!(net.alive_count(), 3);
     }
 
     #[test]

@@ -2,13 +2,72 @@
 //! distributed protocol matches the in-memory dynamics when the
 //! network is clean, costs O(N) messages per round and O(1) memory
 //! per node, and degrades gracefully under message loss and crashes.
+//! Both runtimes — the round-synchronous [`Runtime`] and the
+//! event-driven [`EventRuntime`] — are driven through the shared
+//! [`ProtocolRuntime`] surface and measured side by side.
 
 use crate::{verdict, ExpContext, ExperimentReport};
 use sociolearn_core::{BernoulliRewards, FinitePopulation, Params};
-use sociolearn_dist::{DistConfig, FaultPlan, Runtime, NODE_STATE_BYTES};
+use sociolearn_dist::{
+    DistConfig, EventRuntime, FaultPlan, ProtocolRuntime, Runtime, NODE_STATE_BYTES,
+};
 use sociolearn_plot::{fmt_sig, CsvWriter, MarkdownTable};
 use sociolearn_sim::{replicate, run_one, RunConfig, SeedTree};
 use sociolearn_stats::Summary;
+
+/// Mean (regret, best-option share, msgs/round, fallbacks/round) of a
+/// fleet built by `make` over `reps` replications — the one code path
+/// both runtimes are measured through. The snapshot/sample/step/record
+/// ordering stays in lockstep with `sociolearn_sim::run_one`, or E15's
+/// regret becomes incomparable with the other experiments (run_one
+/// can't be reused here: it consumes the dynamics, and the message
+/// metrics live on the runtime).
+fn measure_fleet<Rt: ProtocolRuntime>(
+    make: impl Fn(u64) -> Rt + Sync,
+    env: &BernoulliRewards,
+    m: usize,
+    horizon: u64,
+    reps: u64,
+    seed: u64,
+) -> (f64, f64, f64, f64) {
+    use sociolearn_core::{RegretTracker, RewardModel};
+    let outcomes: Vec<(f64, f64, f64, f64)> = replicate(reps, seed, |seed| {
+        // The runtime seed is salted: both runtimes ignore the caller
+        // RNG, so an unsalted seed would make the protocol's internal
+        // stream bit-identical to the reward stream below.
+        let mut net = make(seed ^ 0xD157_5EED);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut env2 = env.clone();
+        let best_index = env2.best_index().unwrap_or(0);
+        let best_quality = env2.best_quality().unwrap_or(1.0).clamp(0.0, 1.0);
+        let mut tracker = RegretTracker::new(best_quality, best_index);
+        let mut rewards = vec![false; m];
+        let mut before = vec![0.0; m];
+        for t in 1..=horizon {
+            net.write_distribution(&mut before);
+            env2.sample(t, &mut rng, &mut rewards);
+            net.round(&rewards);
+            tracker.record(&before, &rewards, env2.qualities().as_deref());
+        }
+        let metrics = net.metrics();
+        (
+            tracker.average_regret(),
+            tracker.average_best_share(),
+            metrics.messages_per_round(),
+            metrics.fallbacks as f64 / metrics.rounds as f64,
+        )
+    });
+    let mean = |k: usize| {
+        Summary::from_slice(
+            &outcomes
+                .iter()
+                .map(|o| [o.0, o.1, o.2, o.3][k])
+                .collect::<Vec<_>>(),
+        )
+        .mean()
+    };
+    (mean(0), mean(1), mean(2), mean(3))
+}
 
 pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let m = 2;
@@ -30,6 +89,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
 
     let drop_rates: Vec<f64> = ctx.pick(vec![0.0, 0.3], vec![0.0, 0.1, 0.3, 0.5]);
     let mut table = MarkdownTable::new(&[
+        "runtime",
         "condition",
         "regret",
         "avg share of best",
@@ -38,6 +98,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         "ok",
     ]);
     let mut csv = CsvWriter::with_columns(&[
+        "runtime",
         "condition",
         "regret",
         "share",
@@ -45,123 +106,116 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         "fallbacks",
     ]);
     let mut all_ok = true;
-    let mut clean_regret = f64::NAN;
+    let mut clean_regret = [f64::NAN; 2];
 
-    let run_condition = |label: String, fault: FaultPlan, salt: u64| -> (f64, f64, f64, f64) {
-        let outcomes: Vec<(f64, f64, f64, f64)> =
-            replicate(reps, tree.subtree(10 + salt).root(), |seed| {
-                use sociolearn_core::{GroupDynamics, RegretTracker, RewardModel};
-                // One pass computes regret/share *and* message metrics.
-                // The snapshot/sample/step/record ordering must stay in
-                // lockstep with `sociolearn_sim::run_one`, or E15's
-                // regret becomes incomparable with the other experiments
-                // (run_one can't be reused here: it consumes the
-                // dynamics, and the metrics live on the runtime).
-                // The runtime seed is salted: `Runtime` ignores the
-                // caller RNG, so an unsalted seed would make the
-                // protocol's internal stream bit-identical to the
-                // reward stream below.
-                let dist_cfg = DistConfig::new(params, n).with_faults(fault.clone());
-                let mut net = Runtime::new(dist_cfg, seed ^ 0xD157_5EED);
-                let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
-                let mut env2 = env.clone();
-                let best_index = env2.best_index().unwrap_or(0);
-                let best_quality = env2.best_quality().unwrap_or(1.0).clamp(0.0, 1.0);
-                let mut tracker = RegretTracker::new(best_quality, best_index);
-                let mut rewards = vec![false; m];
-                let mut before = vec![0.0; m];
-                for t in 1..=horizon {
-                    net.write_distribution(&mut before);
-                    env2.sample(t, &mut rng, &mut rewards);
-                    net.round(&rewards);
-                    tracker.record(&before, &rewards, env2.qualities().as_deref());
-                }
-                let metrics = net.metrics();
-                (
-                    tracker.average_regret(),
-                    tracker.average_best_share(),
-                    metrics.messages_per_round(),
-                    metrics.fallbacks as f64 / metrics.rounds as f64,
-                )
-            });
-        let regret = Summary::from_slice(&outcomes.iter().map(|o| o.0).collect::<Vec<_>>());
-        let share = Summary::from_slice(&outcomes.iter().map(|o| o.1).collect::<Vec<_>>());
-        let msgs = Summary::from_slice(&outcomes.iter().map(|o| o.2).collect::<Vec<_>>());
-        let fallbacks = Summary::from_slice(&outcomes.iter().map(|o| o.3).collect::<Vec<_>>());
-        let _ = label;
-        (regret.mean(), share.mean(), msgs.mean(), fallbacks.mean())
+    // Every condition runs on both runtimes through `measure_fleet`;
+    // `runtime_idx` 0 is round-synchronous, 1 is event-driven.
+    let run_condition = |runtime_idx: usize, fault: FaultPlan, salt: u64| {
+        let seed = tree.subtree(10 + 200 * runtime_idx as u64 + salt).root();
+        let cfg = DistConfig::new(params, n).with_faults(fault);
+        if runtime_idx == 0 {
+            measure_fleet(
+                |s| Runtime::new(cfg.clone(), s),
+                &env,
+                m,
+                horizon,
+                reps,
+                seed,
+            )
+        } else {
+            measure_fleet(
+                |s| EventRuntime::new(cfg.clone(), s),
+                &env,
+                m,
+                horizon,
+                reps,
+                seed,
+            )
+        }
     };
-
-    for (i, &drop) in drop_rates.iter().enumerate() {
-        let fault = if drop == 0.0 {
-            FaultPlan::none()
-        } else {
-            FaultPlan::with_drop_prob(drop).expect("valid drop rate")
-        };
-        let (regret, share, msgs, fallbacks) =
-            run_condition(format!("drop={drop}"), fault, i as u64);
-        let ok = if drop == 0.0 {
-            clean_regret = regret;
-            // Clean network must match the in-memory dynamics closely.
-            (regret - ref_regret.mean()).abs() < 0.05 && msgs < 6.0 * n as f64
-        } else {
-            // Faulty networks may pay extra regret but must keep
-            // learning (share far above the 1/m floor).
-            share > 0.55
-        };
-        all_ok &= ok;
-        table.add_row(&[
-            format!("message drop {}%", (drop * 100.0) as u32),
-            fmt_sig(regret, 3),
-            fmt_sig(share, 3),
-            fmt_sig(msgs, 4),
-            fmt_sig(fallbacks, 3),
-            verdict(ok),
-        ]);
-        csv.row(&[
-            format!("drop{drop}"),
-            regret.to_string(),
-            share.to_string(),
-            msgs.to_string(),
-            fallbacks.to_string(),
-        ]);
-    }
 
     // Crash condition: a quarter of the nodes die a third of the way in.
     let mut crash_fault = FaultPlan::none();
     for node in 0..n / 4 {
         crash_fault = crash_fault.crash(node, horizon / 3);
     }
-    let (regret, share, msgs, fallbacks) = run_condition("crash 25%".into(), crash_fault, 100);
-    let crash_ok = share > 0.6;
-    all_ok &= crash_ok;
-    table.add_row(&[
-        "25% crash at T/3".into(),
-        fmt_sig(regret, 3),
-        fmt_sig(share, 3),
-        fmt_sig(msgs, 4),
-        fmt_sig(fallbacks, 3),
-        verdict(crash_ok),
-    ]);
-    csv.row(&[
-        "crash25".into(),
-        regret.to_string(),
-        share.to_string(),
-        msgs.to_string(),
-        fallbacks.to_string(),
-    ]);
+
+    for (runtime_idx, runtime_name) in [(0usize, "round-sync"), (1, "event-driven")] {
+        for (i, &drop) in drop_rates.iter().enumerate() {
+            let fault = if drop == 0.0 {
+                FaultPlan::none()
+            } else {
+                FaultPlan::with_drop_prob(drop).expect("valid drop rate")
+            };
+            let (regret, share, msgs, fallbacks) = run_condition(runtime_idx, fault, i as u64);
+            let ok = if drop == 0.0 {
+                clean_regret[runtime_idx] = regret;
+                // Clean network must match the in-memory dynamics
+                // closely — for *both* runtimes (the law-level
+                // equivalence the tentpole promises).
+                (regret - ref_regret.mean()).abs() < 0.05 && msgs < 6.0 * n as f64
+            } else {
+                // Faulty networks may pay extra regret but must keep
+                // learning (share far above the 1/m floor).
+                share > 0.55
+            };
+            all_ok &= ok;
+            table.add_row(&[
+                runtime_name.into(),
+                format!("message drop {}%", (drop * 100.0) as u32),
+                fmt_sig(regret, 3),
+                fmt_sig(share, 3),
+                fmt_sig(msgs, 4),
+                fmt_sig(fallbacks, 3),
+                verdict(ok),
+            ]);
+            csv.row(&[
+                runtime_name.into(),
+                format!("drop{drop}"),
+                regret.to_string(),
+                share.to_string(),
+                msgs.to_string(),
+                fallbacks.to_string(),
+            ]);
+        }
+
+        let (regret, share, msgs, fallbacks) = run_condition(runtime_idx, crash_fault.clone(), 100);
+        let crash_ok = share > 0.6;
+        all_ok &= crash_ok;
+        table.add_row(&[
+            runtime_name.into(),
+            "25% crash at T/3".into(),
+            fmt_sig(regret, 3),
+            fmt_sig(share, 3),
+            fmt_sig(msgs, 4),
+            fmt_sig(fallbacks, 3),
+            verdict(crash_ok),
+        ]);
+        csv.row(&[
+            runtime_name.into(),
+            "crash25".into(),
+            regret.to_string(),
+            share.to_string(),
+            msgs.to_string(),
+            fallbacks.to_string(),
+        ]);
+    }
     let _ = csv.save(ctx.path("E15.csv"));
 
     let markdown = format!(
-        "The conclusion's proposal, measured: a round-synchronous query/reply gossip \
-         implementation where each node stores only its current option \
-         ({bytes} bytes of protocol state — no weight vector). N = {n}, m = {m}, \
-         beta = 0.65, horizon {horizon}, {reps} reps, seed {seed}. In-memory reference \
-         regret at the same N: {refr}.\n\n{table}\n\
-         Reading: clean network regret {clean} matches the in-memory dynamics; message \
-         cost stays a small multiple of N per round (retries against sit-outs); loss and \
-         crashes degrade throughput of *copying*, pushing nodes toward uniform fallback — \
-         learning slows but does not collapse.\n",
+        "The conclusion's proposal, measured on both runtimes: query/reply gossip \
+         where each node stores only its current option ({bytes} bytes of protocol \
+         state — no weight vector), executed round-synchronously and event-driven \
+         (jittered wakes, latency-jittered messages, bounded FIFO inboxes, \
+         timeout-driven retries). N = {n}, m = {m}, beta = 0.65, horizon {horizon}, \
+         {reps} reps, seed {seed}. In-memory reference regret at the same N: \
+         {refr}.\n\n{table}\n\
+         Reading: clean-network regret (round-sync {clean_rs}, event-driven \
+         {clean_ev}) matches the in-memory dynamics for both runtimes; message cost \
+         stays a small multiple of N per round (retries against sit-outs); loss and \
+         crashes degrade throughput of *copying*, pushing nodes toward uniform \
+         fallback — learning slows but does not collapse, under either execution \
+         model.\n",
         bytes = NODE_STATE_BYTES,
         n = n,
         m = m,
@@ -170,7 +224,8 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         seed = ctx.seed,
         refr = fmt_sig(ref_regret.mean(), 3),
         table = table.render(),
-        clean = fmt_sig(clean_regret, 3),
+        clean_rs = fmt_sig(clean_regret[0], 3),
+        clean_ev = fmt_sig(clean_regret[1], 3),
     );
 
     ExperimentReport {

@@ -4,9 +4,25 @@ use crate::seeds::SeedTree;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// How many work chunks each thread's share of the input is split
+/// into. Oversubscription lets the stealing cursor rebalance
+/// heterogeneous item costs while keeping the number of handoff cells
+/// O(threads), independent of the item count.
+const CHUNKS_PER_THREAD: usize = 8;
+
 /// Applies `f` to every item on a scoped thread pool (one thread per
 /// available core, capped by the item count). Order of results matches
 /// the input order.
+///
+/// Work is handed out as disjoint chunks: each chunk pairs an owned
+/// slice of the input with the exclusive `&mut` window of the result
+/// vector it fills, claimed through a single atomic cursor. Workers
+/// therefore write results straight into their final, input-ordered
+/// slots with no per-item locking — the only synchronization on the
+/// hot path is one `fetch_add` plus one handoff-cell lock per *chunk*.
+///
+/// A panic in `f` propagates to the caller once all workers have
+/// stopped, exactly like a panic in a plain `std::thread::scope`.
 ///
 /// # Example
 ///
@@ -32,35 +48,49 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let chunk_len = n.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    // Pair each owned input chunk with the disjoint result window it
+    // fills. The `Mutex<Option<..>>` is only the one-shot handoff cell
+    // a worker takes the pair through after winning the chunk index on
+    // the cursor — it is locked exactly once per chunk, never per item.
+    type Chunk<'a, T, R> = Mutex<Option<(Vec<T>, &'a mut [Option<R>])>>;
+    let mut input = items.into_iter();
+    let work: Vec<Chunk<'_, T, R>> = slots
+        .chunks_mut(chunk_len)
+        .map(|out| {
+            let chunk: Vec<T> = input.by_ref().take(out.len()).collect();
+            Mutex::new(Some((chunk, out)))
+        })
+        .collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= work.len() {
                     break;
                 }
-                let item = work[i]
+                let (chunk, out) = work[c]
                     .lock()
-                    .expect("work mutex poisoned")
+                    .expect("work cell poisoned")
                     .take()
-                    .expect("each slot consumed once");
-                let out = f(item);
-                *results[i].lock().expect("result mutex poisoned") = Some(out);
+                    .expect("each chunk claimed once");
+                for (item, slot) in chunk.into_iter().zip(out) {
+                    *slot = Some(f(item));
+                }
             });
         }
     });
 
-    results
+    // Release the borrows of `slots` before consuming it.
+    drop(work);
+    slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result mutex poisoned")
-                .expect("every slot filled")
-        })
+        .map(|s| s.expect("every slot filled"))
         .collect()
 }
 
@@ -115,6 +145,38 @@ mod tests {
         assert_eq!(unique.len(), 32);
         assert_eq!(seeds, replicate(32, 7, |s| s));
         assert_ne!(seeds, replicate(32, 8, |s| s));
+    }
+
+    #[test]
+    fn order_pinned_under_contended_heterogeneous_load() {
+        // Regression for the de-locked work distribution: item costs
+        // span three orders of magnitude and the expensive ones are
+        // front-loaded, so chunks finish far out of claim order and
+        // the stealing cursor constantly rebalances. Results must
+        // still come back in exact input order.
+        fn cook(i: u64) -> (u64, u64) {
+            let spins = if i.is_multiple_of(7) { 20_000 } else { 20 };
+            let mut acc = i;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(k);
+            }
+            (i, acc)
+        }
+        let n = 2_000u64;
+        let out = parallel_map((0..n).collect(), cook);
+        let expected: Vec<(u64, u64)> = (0..n).map(cook).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..100u32).collect::<Vec<_>>(), |x| {
+                assert_ne!(x, 57, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err(), "a panicking worker must fail the map");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sociolearn::core::{AgentPopulation, FinitePopulation, GroupDynamics, Params};
-use sociolearn::dist::{DistConfig, Runtime};
+use sociolearn::dist::{DistConfig, EventRuntime, Runtime};
 use sociolearn::env::TraceRewards;
 use sociolearn::graph::topology;
 use sociolearn::network::NetworkPopulation;
@@ -125,6 +125,81 @@ fn message_passing_runtime_matches_collective_form() {
 }
 
 #[test]
+fn event_runtime_matches_collective_form() {
+    // The tentpole equivalence claim: on a clean network the
+    // event-driven runtime — jittered wakes, latency-jittered
+    // messages, bounded inboxes, timeout retries — is *still* the
+    // finite-population dynamics in law, because conditioned on a
+    // reply the copied option is a uniform draw over last epoch's
+    // committed nodes.
+    let m = 2;
+    let n = 400;
+    let steps = 15;
+    let params = Params::new(m, 0.65).unwrap();
+    let reps = 200u64;
+
+    let event: Vec<f64> = (0..reps)
+        .map(|i| {
+            // Salted like the round-synchronous runtime: EventRuntime
+            // keeps its own RNG and must not share the driver stream.
+            final_share(
+                EventRuntime::new(DistConfig::new(params, n), 570_000 + i),
+                steps,
+                m,
+                57_000 + i,
+            )
+        })
+        .collect();
+    let collective: Vec<f64> = (0..reps)
+        .map(|i| final_share(FinitePopulation::new(params, n), steps, m, 61_000 + i))
+        .collect();
+
+    let ks = ks_two_sample(&event, &collective);
+    assert!(
+        ks.accepts_at(0.001),
+        "event-driven vs collective form differ in law: {ks:?}"
+    );
+}
+
+#[test]
+fn two_runtimes_agree_in_law_with_each_other() {
+    // Transitivity check made explicit: round-synchronous and
+    // event-driven runs of the *same* deployment are exchangeable.
+    let m = 3;
+    let n = 300;
+    let steps = 12;
+    let params = Params::new(m, 0.65).unwrap();
+    let reps = 200u64;
+
+    let round_sync: Vec<f64> = (0..reps)
+        .map(|i| {
+            final_share(
+                Runtime::new(DistConfig::new(params, n), 710_000 + i),
+                steps,
+                m,
+                71_000 + i,
+            )
+        })
+        .collect();
+    let event: Vec<f64> = (0..reps)
+        .map(|i| {
+            final_share(
+                EventRuntime::new(DistConfig::new(params, n), 730_000 + i),
+                steps,
+                m,
+                73_000 + i,
+            )
+        })
+        .collect();
+
+    let ks = ks_two_sample(&round_sync, &event);
+    assert!(
+        ks.accepts_at(0.001),
+        "round-sync vs event-driven differ in law: {ks:?}"
+    );
+}
+
+#[test]
 fn all_forms_converge_to_same_steady_share() {
     let m = 2;
     let n = 2_000;
@@ -141,6 +216,12 @@ fn all_forms_converge_to_same_steady_share() {
             3,
         ),
         final_share(Runtime::new(DistConfig::new(params, n), 40), steps, m, 4),
+        final_share(
+            EventRuntime::new(DistConfig::new(params, n), 50),
+            steps,
+            m,
+            5,
+        ),
     ];
     for (i, &s) in shares.iter().enumerate() {
         assert!(s > 0.85, "form {i} failed to converge: share {s}");

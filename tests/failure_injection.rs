@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use sociolearn::core::{
     assert_distribution, BernoulliRewards, FinitePopulation, GroupDynamics, Params, RewardModel,
 };
-use sociolearn::dist::{DistConfig, FaultPlan, Runtime};
+use sociolearn::dist::{DistConfig, EventRuntime, FaultPlan, Runtime};
 use sociolearn::env::PeriodicRewards;
 use sociolearn::graph::Graph;
 use sociolearn::network::NetworkPopulation;
@@ -77,6 +77,108 @@ fn dist_half_crash_mid_run_still_converges() {
         tail_share > 0.8,
         "survivors failed to converge: {tail_share}"
     );
+}
+
+#[test]
+fn event_total_message_loss_degrades_to_adoption_only() {
+    let params = Params::new(2, 0.65).unwrap();
+    let cfg = DistConfig::new(params, 300).with_faults(FaultPlan::with_drop_prob(1.0).unwrap());
+    let mut net = EventRuntime::new(cfg, 1);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut env = BernoulliRewards::new(vec![0.9, 0.3]).unwrap();
+    let mut rewards = vec![false; 2];
+    let mut share = 0.0;
+    for t in 1..=100 {
+        env.sample(t, &mut rng, &mut rewards);
+        net.tick(&rewards);
+        share += net.distribution()[0];
+    }
+    share /= 100.0;
+    assert_distribution(&net.distribution(), 1e-12);
+    // Adoption-only keeps a quality-proportional split, clearly above
+    // 1/2 but below a converged population.
+    assert!(share > 0.55 && share < 0.95, "share {share}");
+    assert_eq!(net.metrics().replies_received, 0);
+    // Every alive node burns its whole retry budget before falling
+    // back, every epoch.
+    assert!(net.metrics().fallbacks >= 100);
+}
+
+#[test]
+fn event_all_nodes_crash_is_silent_but_defined() {
+    let mut fault = FaultPlan::none();
+    for i in 0..50 {
+        fault = fault.crash(i, 1);
+    }
+    let params = Params::new(2, 0.65).unwrap();
+    let mut net = EventRuntime::new(DistConfig::new(params, 50).with_faults(fault), 3);
+    for _ in 0..10 {
+        let rm = net.tick(&[true, false]);
+        assert_eq!(rm.alive, 0);
+        assert_eq!(rm.committed, 0);
+        assert_eq!(rm.queries_sent, 0);
+    }
+    assert_eq!(net.alive_count(), 0);
+    assert_eq!(net.distribution(), vec![0.5, 0.5]);
+}
+
+#[test]
+fn event_half_crash_mid_run_still_converges() {
+    let params = Params::new(2, 0.65).unwrap();
+    let n = 400;
+    let mut fault = FaultPlan::none();
+    for i in 0..n / 2 {
+        fault = fault.crash(i, 50);
+    }
+    let mut net = EventRuntime::new(DistConfig::new(params, n).with_faults(fault), 4);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut env = BernoulliRewards::new(vec![0.9, 0.3]).unwrap();
+    let mut rewards = vec![false; 2];
+    let mut tail_share = 0.0;
+    for t in 1..=300 {
+        env.sample(t, &mut rng, &mut rewards);
+        net.tick(&rewards);
+        if t > 200 {
+            tail_share += net.distribution()[0];
+        }
+    }
+    tail_share /= 100.0;
+    assert_eq!(net.alive_count(), n / 2);
+    assert!(
+        tail_share > 0.8,
+        "survivors failed to converge: {tail_share}"
+    );
+}
+
+#[test]
+fn event_starved_queue_keeps_learning_under_loss_and_crashes() {
+    // Worst of every world at once: inbox bound 1, 30% message loss,
+    // and a fifth of the fleet crashing early. The runtime must stay
+    // well-defined and keep a learning signal.
+    let params = Params::new(2, 0.65).unwrap();
+    let n = 200;
+    let mut fault = FaultPlan::with_drop_prob(0.3).unwrap();
+    for i in 0..n / 5 {
+        fault = fault.crash(i, 20);
+    }
+    let mut net =
+        EventRuntime::new(DistConfig::new(params, n).with_faults(fault), 6).with_queue_bound(1);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut env = BernoulliRewards::new(vec![0.9, 0.3]).unwrap();
+    let mut rewards = vec![false; 2];
+    let mut tail_share = 0.0;
+    for t in 1..=300 {
+        env.sample(t, &mut rng, &mut rewards);
+        net.tick(&rewards);
+        assert_distribution(&net.distribution(), 1e-12);
+        if t > 200 {
+            tail_share += net.distribution()[0];
+        }
+    }
+    tail_share /= 100.0;
+    assert!(net.max_queue_depth() <= 1);
+    assert!(net.metrics().queue_drops > 0, "bound 1 never backpressured");
+    assert!(tail_share > 0.6, "fleet stopped learning: {tail_share}");
 }
 
 #[test]

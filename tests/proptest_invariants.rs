@@ -10,7 +10,7 @@ use sociolearn::core::{
     assert_distribution, ratio_deviation, sample_multinomial, tv_distance, AgentPopulation,
     AliasTable, FinitePopulation, GroupDynamics, InfiniteDynamics, Params, StochasticMwu,
 };
-use sociolearn::dist::{DistConfig, FaultPlan, Runtime};
+use sociolearn::dist::{DistConfig, EventRuntime, FaultPlan, Runtime};
 use sociolearn::stats::Summary;
 
 /// Strategy: valid model parameters (alpha <= beta enforced).
@@ -206,6 +206,76 @@ proptest! {
         let totals = net.metrics();
         prop_assert_eq!(totals.rounds, steps as u64);
         prop_assert!(totals.replies_received <= totals.queries_sent);
+    }
+
+    #[test]
+    fn event_runtime_invariants(
+        seed in any::<u64>(),
+        m in 2usize..5,
+        n in 1usize..80,
+        steps in 1usize..15,
+        drop in 0.0f64..=1.0,
+        queue_bound in 1usize..40,
+        crashes in proptest::collection::vec((0usize..80, 1u64..15), 0..6),
+    ) {
+        let params = Params::new(m, 0.65).expect("valid");
+        let mut fault = FaultPlan::with_drop_prob(drop).expect("valid drop prob");
+        for (node, round) in crashes {
+            fault = fault.crash(node % n, round);
+        }
+        let mut net = EventRuntime::new(DistConfig::new(params, n).with_faults(fault), seed)
+            .with_queue_bound(queue_bound);
+        let mut reward_rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        for _ in 0..steps {
+            let rewards: Vec<bool> =
+                (0..m).map(|_| rand::Rng::gen_bool(&mut reward_rng, 0.5)).collect();
+            let rm = net.tick(&rewards);
+            // Round metrics are mutually consistent.
+            prop_assert!(rm.committed <= rm.alive);
+            prop_assert!(rm.alive <= n);
+            // The O(1) running counter now reports next epoch's
+            // population, which crashes can only shrink.
+            prop_assert!(rm.alive >= net.alive_count());
+            prop_assert!(rm.replies_received <= rm.queries_sent);
+            prop_assert!(rm.queries_sent <= (n as u64) * 8);
+            // Every alive node resolves stage 1 exactly once per epoch.
+            prop_assert!(
+                rm.explorations + rm.fallbacks + rm.replies_received >= rm.alive as u64
+            );
+            // The bounded inbox really is bounded.
+            prop_assert!(net.max_queue_depth() <= queue_bound);
+            // The distribution is always a distribution, committed or
+            // not (uniform fallback when nobody is committed).
+            assert_distribution(&net.distribution(), 1e-9);
+        }
+        let totals = net.metrics();
+        prop_assert_eq!(totals.rounds, steps as u64);
+        prop_assert!(totals.replies_received <= totals.queries_sent);
+    }
+
+    #[test]
+    fn event_runtime_deterministic_for_fixed_seed(
+        seed in any::<u64>(),
+        n in 1usize..60,
+        drop in 0.0f64..=0.9,
+        queue_bound in 1usize..20,
+    ) {
+        let params = Params::new(3, 0.6).expect("valid");
+        let run = |seed: u64| {
+            let fault = FaultPlan::with_drop_prob(drop).expect("valid").crash(0, 5);
+            let mut net = EventRuntime::new(DistConfig::new(params, n).with_faults(fault), seed)
+                .with_queue_bound(queue_bound);
+            let mut dists = Vec::new();
+            for t in 0..10u64 {
+                net.tick(&[t % 2 == 0, t % 3 == 0, true]);
+                dists.push(net.distribution());
+            }
+            (dists, net.metrics())
+        };
+        let (da, ma) = run(seed);
+        let (db, mb) = run(seed);
+        prop_assert_eq!(da, db, "same seed must reproduce the trajectory");
+        prop_assert_eq!(ma, mb, "same seed must reproduce the message counters");
     }
 
     #[test]

@@ -1,12 +1,13 @@
-//! Round-synchronous vs. batched vs. event-driven runtime cost at
-//! fleet scale, plus a faithful reimplementation of the pre-refactor
-//! (allocating) round as the baseline the allocation-free path is
-//! measured against.
+//! Round-synchronous vs. batched vs. event-driven (epoch-quiesced and
+//! fully-async) runtime cost at fleet scale, plus a faithful
+//! reimplementation of the pre-refactor (allocating) round as the
+//! baseline the allocation-free path is measured against.
 //!
 //! Besides the console output, a run writes machine-readable results
 //! to `results/BENCH_dist.json` at the workspace root (mean ns/round
-//! per runtime and N), so the performance trajectory of the dist hot
-//! path is tracked commit over commit. Set `BENCH_DIST_JSON` to
+//! per runtime and N; the file is gitignored — the committed reference
+//! is `results/BENCH_baseline.json`, which the `bench_gate` bin
+//! compares a fresh report against in CI). Set `BENCH_DIST_JSON` to
 //! redirect the report, or to `skip` to suppress it.
 
 use criterion::{BenchmarkId, Criterion, Throughput};
@@ -14,7 +15,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sociolearn_bench::{bench_params, reward_stream};
 use sociolearn_core::Params;
-use sociolearn_dist::{DistConfig, EventRuntime, ProtocolRuntime, Runtime, MAX_QUERY_RETRIES};
+use sociolearn_dist::{
+    DistConfig, EventRuntime, ProtocolRuntime, Runtime, StalenessBound, MAX_QUERY_RETRIES,
+};
 
 /// Options per fleet in every benchmark.
 const M: usize = 4;
@@ -156,6 +159,21 @@ fn dist_runtime_benches(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("event_driven", n), &n, |b, &n| {
             let mut net = EventRuntime::new(DistConfig::new(bench_params(M), n), 3);
+            let mut t = 0usize;
+            b.iter(|| {
+                net.tick(&rewards[t % rewards.len()]);
+                t += 1;
+            });
+        });
+
+        // Fully-async overlapping epochs: one iteration advances the
+        // scheduler through one epoch-period window — about one local
+        // epoch per node on this clean network — so ns/iteration is
+        // comparable to the per-round numbers above to within the
+        // fleet's epoch drift.
+        group.bench_with_input(BenchmarkId::new("event_async", n), &n, |b, &n| {
+            let mut net = EventRuntime::new(DistConfig::new(bench_params(M), n), 3)
+                .with_async_epochs(StalenessBound::Unbounded);
             let mut t = 0usize;
             b.iter(|| {
                 net.tick(&rewards[t % rewards.len()]);

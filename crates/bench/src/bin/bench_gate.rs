@@ -1,0 +1,313 @@
+//! The CI perf-regression gate: compares a fresh `BENCH_dist.json`
+//! (written by `cargo bench --bench dist_runtime`) against the
+//! committed reference `results/BENCH_baseline.json` and exits
+//! non-zero if any runtime regressed by more than the threshold at the
+//! gated fleet size.
+//!
+//! ```text
+//! cargo run -p sociolearn-bench --bin bench_gate -- [FRESH [BASELINE]]
+//! ```
+//!
+//! Defaults: `FRESH = results/BENCH_dist.json`, `BASELINE =
+//! results/BENCH_baseline.json`, both relative to the workspace root.
+//! The gate bites only at `N = 100_000` (smaller fleets are too noisy
+//! per-round to gate on) and only for runtimes present in the
+//! baseline; a new runtime in the fresh report is listed as ungated
+//! until the baseline is refreshed. `BENCH_GATE_THRESHOLD` overrides
+//! the default 20% regression allowance (e.g. `0.5` for 50%).
+//!
+//! To refresh the baseline after an intentional perf change, run the
+//! bench on a quiet machine and copy the report over the baseline:
+//! see README § "Benchmarks and the perf-regression gate".
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The fleet size the gate enforces at.
+const GATE_N: u64 = 100_000;
+
+/// Maximum tolerated slowdown before the gate fails (20%).
+const DEFAULT_THRESHOLD: f64 = 0.20;
+
+/// One `{ "runtime": ..., "n": ..., "ns_per_round": ... }` row of a
+/// bench report.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    runtime: String,
+    n: u64,
+    ns_per_round: f64,
+}
+
+/// Extracts the string value of `"key": "..."` from one JSON object
+/// body. Purpose-built for the flat rows `dist_runtime` emits — not a
+/// general JSON parser (the workspace is offline; no serde).
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let rest = &obj[obj.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the numeric value of `"key": <number>` from one JSON
+/// object body.
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &obj[obj.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses every benchmark row out of a `BENCH_dist.json` report.
+fn parse_rows(json: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // Rows are the only objects in the report carrying a "runtime"
+    // key, so splitting on '{' and probing each fragment is enough.
+    for obj in json.split('{').skip(1) {
+        let (Some(runtime), Some(n), Some(ns)) = (
+            field_str(obj, "runtime"),
+            field_num(obj, "n"),
+            field_num(obj, "ns_per_round"),
+        ) else {
+            continue;
+        };
+        rows.push(Row {
+            runtime,
+            n: n as u64,
+            ns_per_round: ns,
+        });
+    }
+    rows
+}
+
+fn load(path: &Path) -> Result<Vec<Row>, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let rows = parse_rows(&json);
+    if rows.is_empty() {
+        return Err(format!("no benchmark rows found in {}", path.display()));
+    }
+    Ok(rows)
+}
+
+/// Workspace-root-relative default path.
+fn root_path(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.join("results").join(name)
+}
+
+/// The gate verdict for one baseline row, against the fresh report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    Improved,
+    Regressed,
+    MissingInFresh,
+    NotGated,
+}
+
+/// Compares fresh against baseline, returning one `(runtime, n,
+/// baseline_ns, fresh_ns, verdict)` line per (runtime, n) pair seen in
+/// either report. Only baseline rows at `gate_n` can fail the gate.
+fn compare(
+    baseline: &[Row],
+    fresh: &[Row],
+    gate_n: u64,
+    threshold: f64,
+) -> Vec<(String, u64, f64, f64, Verdict)> {
+    let mut out = Vec::new();
+    for b in baseline {
+        let fresh_row = fresh.iter().find(|f| f.runtime == b.runtime && f.n == b.n);
+        let verdict = match fresh_row {
+            None if b.n == gate_n => Verdict::MissingInFresh,
+            None => Verdict::NotGated,
+            Some(f) => {
+                let ratio = f.ns_per_round / b.ns_per_round;
+                if b.n != gate_n {
+                    Verdict::NotGated
+                } else if ratio > 1.0 + threshold {
+                    Verdict::Regressed
+                } else if ratio < 1.0 - threshold {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                }
+            }
+        };
+        out.push((
+            b.runtime.clone(),
+            b.n,
+            b.ns_per_round,
+            fresh_row.map_or(f64::NAN, |f| f.ns_per_round),
+            verdict,
+        ));
+    }
+    // Runtimes measured fresh but absent from the baseline are shown
+    // (ungated) so a stale baseline is visible, not silent.
+    for f in fresh {
+        if !baseline
+            .iter()
+            .any(|b| b.runtime == f.runtime && b.n == f.n)
+        {
+            out.push((
+                f.runtime.clone(),
+                f.n,
+                f64::NAN,
+                f.ns_per_round,
+                Verdict::NotGated,
+            ));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_path = args
+        .first()
+        .map_or_else(|| root_path("BENCH_dist.json"), PathBuf::from);
+    let baseline_path = args
+        .get(1)
+        .map_or_else(|| root_path("BENCH_baseline.json"), PathBuf::from);
+    let threshold = std::env::var("BENCH_GATE_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_THRESHOLD);
+
+    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "bench_gate: fresh {} vs baseline {} (gate: > {:.0}% slower at N = {GATE_N})",
+        fresh_path.display(),
+        baseline_path.display(),
+        threshold * 100.0,
+    );
+    println!(
+        "{:<18} {:>8} {:>14} {:>14} {:>8}  verdict",
+        "runtime", "n", "baseline ns", "fresh ns", "ratio"
+    );
+
+    let report = compare(&baseline, &fresh, GATE_N, threshold);
+    let mut failures = 0usize;
+    for (runtime, n, base_ns, fresh_ns, verdict) in &report {
+        let ratio = fresh_ns / base_ns;
+        let tag = match verdict {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "ok (faster)",
+            Verdict::Regressed => {
+                failures += 1;
+                "REGRESSED"
+            }
+            Verdict::MissingInFresh => {
+                failures += 1;
+                "MISSING in fresh report"
+            }
+            Verdict::NotGated => "not gated",
+        };
+        println!(
+            "{runtime:<18} {n:>8} {base_ns:>14.1} {fresh_ns:>14.1} {:>8}  {tag}",
+            if ratio.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{ratio:.2}x")
+            },
+        );
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} runtime(s) failed the gate at N = {GATE_N}. If the \
+             slowdown is intentional, refresh results/BENCH_baseline.json (see README)."
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: all gated runtimes within {:.0}%",
+        threshold * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(runtime: &str, n: u64, ns: f64) -> Row {
+        Row {
+            runtime: runtime.into(),
+            n,
+            ns_per_round: ns,
+        }
+    }
+
+    #[test]
+    fn parses_the_emitted_report_shape() {
+        let json = r#"{
+  "bench": "dist_runtime",
+  "unit": "ns_per_round",
+  "batch_rounds": 16,
+  "results": [
+    { "runtime": "round_sync", "n": 1000, "ns_per_round": 23558.2 },
+    { "runtime": "event_async", "n": 100000, "ns_per_round": 254300760.0 }
+  ]
+}
+"#;
+        let rows = parse_rows(json);
+        assert_eq!(
+            rows,
+            vec![
+                row("round_sync", 1000, 23558.2),
+                row("event_async", 100_000, 254_300_760.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails_only_at_gate_n() {
+        let baseline = vec![row("a", GATE_N, 100.0), row("a", 1000, 100.0)];
+        let fresh = vec![row("a", GATE_N, 130.0), row("a", 1000, 500.0)];
+        let report = compare(&baseline, &fresh, GATE_N, 0.2);
+        assert_eq!(report[0].4, Verdict::Regressed, "30% over at gate N");
+        assert_eq!(report[1].4, Verdict::NotGated, "small N is informational");
+    }
+
+    #[test]
+    fn within_threshold_and_improvements_pass() {
+        let baseline = vec![row("a", GATE_N, 100.0), row("b", GATE_N, 100.0)];
+        let fresh = vec![row("a", GATE_N, 119.0), row("b", GATE_N, 50.0)];
+        let report = compare(&baseline, &fresh, GATE_N, 0.2);
+        assert_eq!(report[0].4, Verdict::Ok);
+        assert_eq!(report[1].4, Verdict::Improved);
+    }
+
+    #[test]
+    fn missing_gated_runtime_fails_and_new_runtime_is_ungated() {
+        let baseline = vec![row("gone", GATE_N, 100.0)];
+        let fresh = vec![row("new", GATE_N, 100.0)];
+        let report = compare(&baseline, &fresh, GATE_N, 0.2);
+        assert_eq!(report[0].4, Verdict::MissingInFresh);
+        assert_eq!(report[1].4, Verdict::NotGated);
+        assert_eq!(report[1].0, "new");
+    }
+
+    #[test]
+    fn field_parsers_tolerate_whitespace_and_sign() {
+        let obj = r#" "runtime" : "x" , "n":  100000, "ns_per_round": -1.5e3 }"#;
+        assert_eq!(field_str(obj, "runtime").as_deref(), Some("x"));
+        assert_eq!(field_num(obj, "n"), Some(100_000.0));
+        assert_eq!(field_num(obj, "ns_per_round"), Some(-1.5e3));
+    }
+}

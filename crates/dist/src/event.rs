@@ -13,21 +13,43 @@
 //! bridge toward fully asynchronous bounded-memory collaborative
 //! learning (Su–Zubeldia–Lynch, arXiv:1802.08159).
 //!
-//! Each call to [`EventRuntime::tick`] is one *epoch*: alive nodes
-//! wake at jittered virtual times, exchange messages through the
-//! scheduler, and the epoch completes when every event has been
-//! delivered and every alive node has resolved its stage-1 sample and
-//! stage-2 adoption against the epoch's fresh reward signals. Peers
-//! answer queries from the *previous* epoch's commitments, so on a
-//! clean network the per-epoch law is the same sample-then-adopt
-//! process as the round-synchronous runtime — the cross-crate
-//! equivalence tests check it agrees in law with
-//! `sociolearn_core::FinitePopulation`.
+//! In the default **epoch-quiesced** mode, each call to
+//! [`EventRuntime::tick`] is one *epoch*: alive nodes wake at jittered
+//! virtual times, exchange messages through the scheduler, and the
+//! epoch completes when every event has been delivered and every alive
+//! node has resolved its stage-1 sample and stage-2 adoption against
+//! the epoch's fresh reward signals. Peers answer queries from the
+//! *previous* epoch's commitments, so on a clean network the per-epoch
+//! law is the same sample-then-adopt process as the round-synchronous
+//! runtime — the cross-crate equivalence tests check it agrees in law
+//! with `sociolearn_core::FinitePopulation`.
 //!
-//! Message cost is bounded exactly as in the round-synchronous
-//! runtime: at most [`MAX_QUERY_RETRIES`] queries and one reply per
-//! query per node per epoch, i.e. `≤ 2 · MAX_QUERY_RETRIES · N`
-//! messages per epoch.
+//! In **fully-async** mode ([`EventRuntime::with_async_epochs`]) the
+//! quiescence barrier is removed: each node runs its own epoch loop on
+//! a local cadence of [`ASYNC_EPOCH_PERIOD`] scheduler ticks, advances
+//! its local epoch counter the moment its reply (or timeout fallback)
+//! lands, and immediately schedules its next wake-up — nodes stuck in
+//! retry storms drift behind while fast nodes race ahead, so epochs
+//! overlap across the fleet. Queries carry the sender's local epoch; a
+//! responder whose own information is more than the configured
+//! [`StalenessBound`] behind the querier withholds its reply (counted
+//! in [`RoundMetrics::stale_replies`]) and the querier's timeout
+//! drives a retry. [`EventRuntime::tick`] then means "advance the
+//! scheduler through one epoch-period window of virtual time": a
+//! healthy node completes about one local epoch per tick, a node
+//! mired in retry timeouts completes less than one and genuinely
+//! falls behind the fleet, and in-flight messages survive from one
+//! tick into the next — exactly the no-quiescence regime under study
+//! (Su–Zubeldia–Lynch, arXiv:1802.08159).
+//!
+//! Message cost per epoch is bounded exactly as in the round-
+//! synchronous runtime: at most [`MAX_QUERY_RETRIES`] queries and one
+//! reply per query per node per epoch, i.e. `≤ 2 · MAX_QUERY_RETRIES
+//! · N` messages per epoch (in async mode, per *local* epoch).
+//! Protocol state stays O(1) per node in both modes: the current
+//! commitment, plus — in async mode only — one history slot (the
+//! previous commitment), kept so a node can answer queries about the
+//! epoch a slower or faster peer is still working on.
 
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -36,8 +58,8 @@ use rand::{Rng, RngCore, SeedableRng};
 use sociolearn_core::GroupDynamics;
 
 use crate::{
-    CrashTracker, DistConfig, Metrics, NodeState, ProtocolRuntime, RoundMetrics, MAX_QUERY_RETRIES,
-    NO_CHOICE,
+    CrashTracker, DistConfig, ExecutionModel, Metrics, NodeState, ProtocolRuntime, RoundMetrics,
+    MAX_QUERY_RETRIES, NO_CHOICE,
 };
 
 /// Default capacity of each node's FIFO inbox. Messages arriving at a
@@ -63,6 +85,70 @@ const WAKE_SPREAD: u64 = 32;
 /// is actually in flight always wins over its timeout.
 const RETRY_TIMEOUT: u64 = 2 * MAX_MESSAGE_LATENCY + 2 * DELIVER_DELAY + 1;
 
+/// Nominal scheduler ticks between consecutive local-epoch wake-ups of
+/// one node in fully-async mode. Long enough that an epoch resolved
+/// within a few retry timeouts finishes inside the period — so a
+/// healthy fleet keeps a loose common cadence and sees roughly one
+/// local epoch per tick — while an epoch that burns through a longer
+/// timeout chain (likely under message loss, crashes, or tight
+/// staleness bounds) overruns it and the node drifts behind its
+/// peers: that drift is the epoch overlap the mode exists to study.
+pub const ASYNC_EPOCH_PERIOD: u64 = 4 * RETRY_TIMEOUT;
+
+/// Jitter added to each async wake-up so node loops never phase-lock.
+const ASYNC_WAKE_JITTER: u64 = 4;
+
+/// How far behind the querier a responder's information may be before
+/// the responder withholds its reply in fully-async mode
+/// ([`EventRuntime::with_async_epochs`]).
+///
+/// Staleness of a reply is measured in local epochs: a querier working
+/// on its local epoch `e` would, under synchronized execution, copy
+/// information committed at epoch `e - 1`; a responder whose last
+/// completed epoch is `r` is `(e - 1) - r` epochs staler than that
+/// (clamped at zero — fresher information is never penalized). A bound
+/// of `Epochs(0)` therefore accepts only peers at least as current as
+/// a synchronized one, which is why bound-0 async execution agrees in
+/// law with the epoch-quiesced scheduler, while `Unbounded` consumes
+/// every reply and never counts [`RoundMetrics::stale_replies`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StalenessBound {
+    /// Consume every reply, however stale the responder's information.
+    Unbounded,
+    /// Withhold replies whose information is more than this many local
+    /// epochs behind what a synchronized peer would hold.
+    Epochs(u64),
+}
+
+impl StalenessBound {
+    /// Whether information `stale` epochs behind the synchronized
+    /// reference is still consumable under this bound.
+    pub fn allows(self, stale: u64) -> bool {
+        match self {
+            StalenessBound::Unbounded => true,
+            StalenessBound::Epochs(k) => stale <= k,
+        }
+    }
+}
+
+impl std::fmt::Display for StalenessBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StalenessBound::Unbounded => f.write_str("unbounded"),
+            StalenessBound::Epochs(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// Which epoch discipline the scheduler runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Every epoch runs to quiescence before the next begins.
+    Quiesced,
+    /// Overlapping local epochs filtered by a staleness bound.
+    Async(StalenessBound),
+}
+
 /// A scheduler event. Node ids are `u32` to keep the heap entries
 /// small (the fleet bound of `u32::MAX` nodes is far beyond anything
 /// the simulations run).
@@ -71,15 +157,20 @@ enum Event {
     /// An alive node starts stage 1 of the protocol.
     Wake { node: u32 },
     /// A query from `from` reaches `to`'s inbox (link loss already
-    /// resolved at send time).
-    QueryArrive { from: u32, to: u32 },
+    /// resolved at send time). `epoch` is the sender's local epoch at
+    /// send time — the staleness reference in async mode, ignored in
+    /// quiesced mode.
+    QueryArrive { from: u32, to: u32, epoch: u64 },
     /// A reply carrying `option` reaches `node`'s inbox.
     ReplyArrive { node: u32, option: u32 },
     /// `node` processes the message at the head of its inbox.
     Deliver { node: u32 },
     /// `node`'s query `attempt` has waited long enough; retry or fall
-    /// back unless a reply already resolved it.
-    Timeout { node: u32, attempt: u32 },
+    /// back unless a reply already resolved it. `epoch` pins the
+    /// timeout to the local epoch that issued the attempt, so a stale
+    /// timeout surviving into a later epoch (possible in async mode,
+    /// where the heap is never cleared) cannot fire spuriously.
+    Timeout { node: u32, attempt: u32, epoch: u64 },
 }
 
 /// A heap entry: events fire in `(at, seq)` order, so simultaneous
@@ -107,8 +198,10 @@ impl PartialOrd for Scheduled {
 /// A message sitting in a node's inbox.
 #[derive(Debug, Clone, Copy)]
 enum Msg {
-    /// "What option did you use last epoch?"
-    Query { from: u32 },
+    /// "What option did you use last epoch?" — tagged with the
+    /// querier's local epoch at send time (the async staleness
+    /// reference; quiesced mode ignores it).
+    Query { from: u32, epoch: u64 },
     /// "I used `option`."
     Reply { option: u32 },
 }
@@ -136,7 +229,7 @@ struct Pending {
 /// and fault realizations — derives from the seed passed to
 /// [`EventRuntime::new`], so runs are exactly reproducible. Like
 /// [`Runtime`](crate::Runtime) it implements
-/// [`GroupDynamics`](sociolearn_core::GroupDynamics) and
+/// [`GroupDynamics`] and
 /// [`ProtocolRuntime`], so every harness drives the two runtimes
 /// interchangeably.
 ///
@@ -160,16 +253,35 @@ struct Pending {
 pub struct EventRuntime {
     cfg: DistConfig,
     queue_bound: usize,
+    mode: Mode,
     rng: SmallRng,
     /// This epoch's committed option per node — the fleet's protocol
-    /// state, double-buffered with `back`.
+    /// state, double-buffered with `back` in quiesced mode. In async
+    /// mode there is no double buffer: this vector always holds each
+    /// node's most recent commitment, updated in place.
     choices: Vec<NodeState>,
-    /// Last epoch's commitments: the snapshot peers answer from.
+    /// Last epoch's commitments: the snapshot peers answer from in
+    /// quiesced mode. Async mode repurposes it as a one-slot history —
+    /// `back[i]` is node `i`'s commitment as of its *previous*
+    /// completed local epoch — so a responder can serve the snapshot
+    /// nearest the epoch a query asks about.
     back: Vec<NodeState>,
     /// Crash schedule + O(1) alive counter.
     crashes: CrashTracker,
-    /// Cached committed counts per option (this epoch).
+    /// Cached committed counts per option (this epoch in quiesced
+    /// mode; the current commitments in async mode, maintained
+    /// incrementally).
     counts: Vec<u64>,
+    /// Per-node completed local epoch counters (async mode; in
+    /// quiesced mode every node is implicitly at `round`).
+    epochs: Vec<u64>,
+    /// Per-node virtual time of the last wake-up — the async cadence
+    /// anchor (unused in quiesced mode).
+    last_wake: Vec<u64>,
+    /// Virtual time already consumed by async ticks: each tick
+    /// processes one [`ASYNC_EPOCH_PERIOD`] window past this mark
+    /// (unused in quiesced mode, which owns the whole clock per tick).
+    async_clock: u64,
     /// The event queue, keyed by `(virtual time, sequence)`. Reused
     /// across epochs.
     heap: BinaryHeap<Scheduled>,
@@ -203,11 +315,15 @@ impl EventRuntime {
         let crashes = CrashTracker::new(cfg.faults(), n);
         EventRuntime {
             queue_bound: DEFAULT_QUEUE_BOUND,
+            mode: Mode::Quiesced,
             rng: SmallRng::seed_from_u64(seed),
             choices,
             back: vec![NO_CHOICE; n],
             crashes,
             counts,
+            epochs: vec![0; n],
+            last_wake: vec![0; n],
+            async_clock: 0,
             heap: BinaryHeap::new(),
             inboxes: (0..n).map(|_| VecDeque::new()).collect(),
             pending: vec![Pending::default(); n],
@@ -217,6 +333,31 @@ impl EventRuntime {
             metrics: Metrics::default(),
             cfg,
         }
+    }
+
+    /// Switches the scheduler to **fully-async overlapping epochs**:
+    /// no quiescence barrier, per-node local epoch counters advanced
+    /// the moment a reply or timeout fallback lands, and replies
+    /// staler than `bound` withheld by the responder (counted in
+    /// [`RoundMetrics::stale_replies`]).
+    ///
+    /// In this mode [`tick`](EventRuntime::tick) advances the
+    /// scheduler through one [`ASYNC_EPOCH_PERIOD`] window of virtual
+    /// time: a healthy node completes about one local epoch per tick
+    /// on its own cadence, a faulty one falls behind, and in-flight
+    /// messages survive from tick to tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has already executed a tick — the epoch
+    /// discipline is part of the deployment, not a per-round switch.
+    pub fn with_async_epochs(mut self, bound: StalenessBound) -> Self {
+        assert_eq!(
+            self.round, 0,
+            "execution model must be chosen before the first tick"
+        );
+        self.mode = Mode::Async(bound);
+        self
     }
 
     /// Replaces the per-node inbox capacity (default
@@ -252,7 +393,8 @@ impl EventRuntime {
         self.metrics
     }
 
-    /// Committed counts per option over alive nodes (last epoch).
+    /// Committed counts per option over alive nodes — last epoch's in
+    /// quiesced mode, the instantaneous commitments in async mode.
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
@@ -271,6 +413,60 @@ impl EventRuntime {
     /// more than [`queue_bound`](EventRuntime::queue_bound).
     pub fn max_queue_depth(&self) -> usize {
         self.max_queue_depth
+    }
+
+    /// Whether the scheduler runs fully-async overlapping epochs.
+    pub fn is_async(&self) -> bool {
+        matches!(self.mode, Mode::Async(_))
+    }
+
+    /// The configured staleness bound, if the runtime is fully-async.
+    pub fn staleness_bound(&self) -> Option<StalenessBound> {
+        match self.mode {
+            Mode::Quiesced => None,
+            Mode::Async(bound) => Some(bound),
+        }
+    }
+
+    /// `node`'s completed local epoch count. In quiesced mode every
+    /// node completes exactly one epoch per tick, so this equals
+    /// [`rounds_completed`](EventRuntime::rounds_completed); in async
+    /// mode the counters drift apart as slow nodes fall behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= num_nodes()`.
+    pub fn local_epoch(&self, node: usize) -> u64 {
+        assert!(node < self.cfg.num_nodes(), "node out of range");
+        match self.mode {
+            Mode::Quiesced => self.round,
+            Mode::Async(_) => self.epochs[node],
+        }
+    }
+
+    /// Max-minus-min completed local epoch over alive nodes — the
+    /// fleet's current epoch overlap. Always 0 in quiesced mode (and
+    /// for an all-crashed fleet).
+    pub fn epoch_spread(&self) -> u64 {
+        if !self.is_async() {
+            return 0;
+        }
+        let t = self.round;
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut any = false;
+        for (i, &e) in self.epochs.iter().enumerate() {
+            if self.crashes.alive_in(i, t.max(1)) {
+                any = true;
+                lo = lo.min(e);
+                hi = hi.max(e);
+            }
+        }
+        if any {
+            hi - lo
+        } else {
+            0
+        }
     }
 
     /// Pushes an event onto the schedule.
@@ -359,8 +555,16 @@ impl EventRuntime {
         if peer >= i {
             peer += 1;
         }
-        // The retry clock starts now, reply or no reply.
-        self.push(now + RETRY_TIMEOUT, Event::Timeout { node, attempt });
+        // The retry clock starts now, reply or no reply. (Quiesced
+        // mode clears the heap every tick, so the epoch tag is inert.)
+        self.push(
+            now + RETRY_TIMEOUT,
+            Event::Timeout {
+                node,
+                attempt,
+                epoch: 0,
+            },
+        );
         // The query must survive the link to be scheduled for arrival.
         if !self.link_drops() {
             let at = now + self.latency();
@@ -369,6 +573,7 @@ impl EventRuntime {
                 Event::QueryArrive {
                     from: node,
                     to: peer as u32,
+                    epoch: 0,
                 },
             );
         }
@@ -381,7 +586,7 @@ impl EventRuntime {
             return;
         };
         match msg {
-            Msg::Query { from } => {
+            Msg::Query { from, epoch: _ } => {
                 // Answer with the option committed last epoch; a node
                 // that sat out stays silent and the querier's timeout
                 // drives the retry.
@@ -404,21 +609,37 @@ impl EventRuntime {
         }
     }
 
-    /// Executes one scheduler epoch against the fresh reward signals,
-    /// returning what happened. The epoch runs to quiescence: every
-    /// alive node resolves both protocol stages and the event queue
-    /// drains completely.
+    /// Executes one scheduler round against the fresh reward signals,
+    /// returning what happened.
+    ///
+    /// In the default epoch-quiesced mode the round is one epoch run
+    /// to quiescence: every alive node resolves both protocol stages
+    /// and the event queue drains completely. In fully-async mode
+    /// ([`with_async_epochs`](EventRuntime::with_async_epochs)) the
+    /// round is instead one [`ASYNC_EPOCH_PERIOD`] window of virtual
+    /// time — roughly one local epoch per healthy node, less for nodes
+    /// mired in retries, with no barrier and with in-flight messages
+    /// carrying over into the next tick. Decisions made during the
+    /// tick probe this tick's `rewards`, whatever local epoch they
+    /// belong to.
     ///
     /// # Panics
     ///
     /// Panics if `rewards.len()` differs from the number of options.
     pub fn tick(&mut self, rewards: &[bool]) -> RoundMetrics {
-        let m = self.cfg.params().num_options();
         assert_eq!(
             rewards.len(),
-            m,
+            self.cfg.params().num_options(),
             "rewards length must equal the number of options"
         );
+        match self.mode {
+            Mode::Quiesced => self.tick_quiesced(rewards),
+            Mode::Async(bound) => self.tick_async(rewards, bound),
+        }
+    }
+
+    /// One epoch run to quiescence (the default mode).
+    fn tick_quiesced(&mut self, rewards: &[bool]) -> RoundMetrics {
         self.round += 1;
         let t = self.round;
         let n = self.cfg.num_nodes();
@@ -459,18 +680,22 @@ impl EventRuntime {
         while let Some(Scheduled { at, ev, .. }) = self.heap.pop() {
             match ev {
                 Event::Wake { node } => self.start_attempt(node, 1, at, rewards, &mut rm),
-                Event::QueryArrive { from, to } => {
+                Event::QueryArrive { from, to, epoch } => {
                     // A crashed peer swallows the query; the querier's
                     // timeout drives the retry.
                     if self.crashes.alive_in(to as usize, t) {
-                        self.enqueue(to, Msg::Query { from }, at, &mut rm);
+                        self.enqueue(to, Msg::Query { from, epoch }, at, &mut rm);
                     }
                 }
                 Event::ReplyArrive { node, option } => {
                     self.enqueue(node, Msg::Reply { option }, at, &mut rm);
                 }
                 Event::Deliver { node } => self.deliver(node, at, rewards, &mut rm),
-                Event::Timeout { node, attempt } => {
+                Event::Timeout {
+                    node,
+                    attempt,
+                    epoch: _,
+                } => {
                     let p = self.pending[node as usize];
                     if !p.resolved && p.attempt == attempt {
                         self.start_attempt(node, attempt + 1, at, rewards, &mut rm);
@@ -482,6 +707,284 @@ impl EventRuntime {
             self.pending.iter().all(|p| p.resolved),
             "epoch ended with unresolved nodes"
         );
+
+        self.crashes.advance_to(t + 1);
+        self.metrics.absorb(&rm);
+        rm
+    }
+
+    /// Replaces node `i`'s current commitment, keeping the running
+    /// per-option counts in sync (async mode maintains `counts`
+    /// incrementally instead of rebuilding it every epoch).
+    fn set_commit(&mut self, i: usize, new: NodeState) {
+        let old = self.choices[i];
+        if old != NO_CHOICE {
+            self.counts[old as usize] -= 1;
+        }
+        if new != NO_CHOICE {
+            self.counts[new as usize] += 1;
+        }
+        self.choices[i] = new;
+    }
+
+    /// Async stage 2: adopt or sit out, complete the local epoch, and
+    /// schedule the next wake-up on the node's own cadence — the
+    /// moment the barrier-free design hinges on: nothing here waits
+    /// for the rest of the fleet.
+    fn decide_async(
+        &mut self,
+        node: u32,
+        considered: u32,
+        now: u64,
+        rewards: &[bool],
+        rm: &mut RoundMetrics,
+    ) {
+        let i = node as usize;
+        debug_assert!(!self.pending[i].resolved, "node resolved twice");
+        self.pending[i].resolved = true;
+        let adopt_p = self
+            .cfg
+            .params()
+            .adopt_probability(rewards[considered as usize]);
+        // The commitment being superseded becomes the one-slot
+        // history peers can still be served from.
+        self.back[i] = self.choices[i];
+        if self.rng.gen_bool(adopt_p) {
+            self.set_commit(i, considered);
+            rm.committed += 1;
+        } else {
+            self.set_commit(i, NO_CHOICE);
+        }
+        self.epochs[i] += 1;
+        // Next local epoch: one period after the last wake-up, or
+        // immediately (plus jitter) if this epoch overran the period —
+        // that overrun is how slow nodes drift behind their peers
+        // (they catch back up by running epochs back-to-back once the
+        // retry storm passes).
+        let cadence = self.last_wake[i] + ASYNC_EPOCH_PERIOD;
+        let at = cadence.max(now + 1) + self.rng.gen_range(0..ASYNC_WAKE_JITTER);
+        self.push(at, Event::Wake { node });
+    }
+
+    /// Async counterpart of [`start_attempt`](EventRuntime::start_attempt):
+    /// queries and timeouts are tagged with the local epoch that
+    /// issued them, because the heap is never cleared and an abandoned
+    /// timeout may surface epochs later.
+    ///
+    /// Deliberately mirrors the quiesced path stage for stage
+    /// (µ-branch, retry budget, peer pick, timeout clock, link drop)
+    /// rather than sharing code with it: the two must make the same
+    /// protocol decisions in the same RNG order for the cross-mode
+    /// law-equivalence tests to hold, so any change here must be
+    /// mirrored in `start_attempt` and vice versa.
+    fn start_attempt_async(
+        &mut self,
+        node: u32,
+        attempt: u32,
+        now: u64,
+        rewards: &[bool],
+        rm: &mut RoundMetrics,
+    ) {
+        let i = node as usize;
+        let n = self.cfg.num_nodes();
+        let m = self.cfg.params().num_options();
+        if attempt == 1 {
+            let mu = self.cfg.params().mu();
+            if self.rng.gen_bool(mu) {
+                rm.explorations += 1;
+                let considered = self.rng.gen_range(0..m) as u32;
+                self.decide_async(node, considered, now, rewards, rm);
+                return;
+            }
+        }
+        if attempt > MAX_QUERY_RETRIES || n == 1 {
+            rm.fallbacks += 1;
+            let considered = self.rng.gen_range(0..m) as u32;
+            self.decide_async(node, considered, now, rewards, rm);
+            return;
+        }
+        self.pending[i].attempt = attempt;
+        rm.queries_sent += 1;
+        let mut peer = self.rng.gen_range(0..n - 1);
+        if peer >= i {
+            peer += 1;
+        }
+        let epoch = self.epochs[i] + 1;
+        self.push(
+            now + RETRY_TIMEOUT,
+            Event::Timeout {
+                node,
+                attempt,
+                epoch,
+            },
+        );
+        if !self.link_drops() {
+            let at = now + self.latency();
+            self.push(
+                at,
+                Event::QueryArrive {
+                    from: node,
+                    to: peer as u32,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    /// Async counterpart of [`deliver`](EventRuntime::deliver): peers
+    /// answer from their *latest* commitment (there is no previous-
+    /// epoch snapshot without a barrier), and a responder whose
+    /// information is staler than the bound withholds its reply.
+    fn deliver_async(
+        &mut self,
+        node: u32,
+        now: u64,
+        rewards: &[bool],
+        rm: &mut RoundMetrics,
+        bound: StalenessBound,
+    ) {
+        let i = node as usize;
+        let Some(msg) = self.inboxes[i].pop_front() else {
+            return;
+        };
+        match msg {
+            Msg::Query { from, epoch } => {
+                // The querier at local epoch `e` would, under
+                // synchronized execution, copy information committed
+                // at epoch `e - 1`. Serve the snapshot nearest that
+                // epoch: the latest commitment if the responder is at
+                // or behind the requested epoch (staleness = the gap),
+                // else the one-slot history (a responder that already
+                // completed the requested epoch still holds what it
+                // committed then; one that raced further ahead serves
+                // the oldest it has — fresher than asked, never
+                // stale). Withhold the reply when the served
+                // information is staler than the bound, and let the
+                // querier's timeout drive its retry.
+                let want = epoch.saturating_sub(1);
+                let r = self.epochs[i];
+                let (option, stale) = if want >= r {
+                    (self.choices[i], want - r)
+                } else {
+                    (self.back[i], 0)
+                };
+                // Nothing to report after sitting that epoch out.
+                if option == NO_CHOICE {
+                    return;
+                }
+                if !bound.allows(stale) {
+                    rm.stale_replies += 1;
+                    return;
+                }
+                if !self.link_drops() {
+                    let at = now + self.latency();
+                    self.push(at, Event::ReplyArrive { node: from, option });
+                }
+            }
+            Msg::Reply { option } => {
+                if self.pending[i].resolved {
+                    // A late duplicate (cannot normally happen: a
+                    // delivered reply always beats its timeout).
+                    return;
+                }
+                rm.replies_received += 1;
+                self.decide_async(node, option, now, rewards, rm);
+            }
+        }
+    }
+
+    /// One fully-async tick: advance the scheduler through exactly one
+    /// [`ASYNC_EPOCH_PERIOD`] window of virtual time. No barrier of
+    /// any kind — a healthy node completes about one local epoch per
+    /// window on its own cadence, a node mired in retry timeouts
+    /// completes less than one and genuinely falls behind the fleet
+    /// (catching up later by running epochs back-to-back), and
+    /// in-flight messages, pending timeouts, and future wake-ups all
+    /// survive into the next tick.
+    fn tick_async(&mut self, rewards: &[bool], bound: StalenessBound) -> RoundMetrics {
+        self.round += 1;
+        let t = self.round;
+        let n = self.cfg.num_nodes();
+        let mut rm = RoundMetrics {
+            round: t,
+            ..RoundMetrics::default()
+        };
+
+        // Newly-landed crashes: a dead node's commitment leaves the
+        // popularity counts, and its pending events become inert.
+        if self.crashes.any_scheduled() {
+            for i in 0..n {
+                if !self.crashes.alive_in(i, t) && self.choices[i] != NO_CHOICE {
+                    self.set_commit(i, NO_CHOICE);
+                }
+            }
+        }
+        rm.alive = self.crashes.alive();
+
+        // The very first tick seeds every node's epoch loop; from then
+        // on each node perpetually re-schedules its own wake-ups.
+        if t == 1 {
+            for i in 0..n {
+                if self.crashes.alive_in(i, t) {
+                    let at = self.rng.gen_range(0..WAKE_SPREAD);
+                    self.push(at, Event::Wake { node: i as u32 });
+                }
+            }
+        }
+
+        let window_end = self.async_clock + ASYNC_EPOCH_PERIOD;
+        while self
+            .heap
+            .peek()
+            .is_some_and(|scheduled| scheduled.at < window_end)
+        {
+            let Scheduled { at, ev, .. } = self.heap.pop().expect("peeked entry");
+            match ev {
+                Event::Wake { node } => {
+                    let i = node as usize;
+                    if self.crashes.alive_in(i, t) {
+                        self.pending[i] = Pending::default();
+                        self.last_wake[i] = at;
+                        self.start_attempt_async(node, 1, at, rewards, &mut rm);
+                    }
+                }
+                Event::QueryArrive { from, to, epoch } => {
+                    if self.crashes.alive_in(to as usize, t) {
+                        self.enqueue(to, Msg::Query { from, epoch }, at, &mut rm);
+                    }
+                }
+                Event::ReplyArrive { node, option } => {
+                    if self.crashes.alive_in(node as usize, t) {
+                        self.enqueue(node, Msg::Reply { option }, at, &mut rm);
+                    }
+                }
+                Event::Deliver { node } => {
+                    if self.crashes.alive_in(node as usize, t) {
+                        self.deliver_async(node, at, rewards, &mut rm, bound);
+                    } else {
+                        // Keep deliveries 1:1 with enqueues even for
+                        // the dead.
+                        self.inboxes[node as usize].pop_front();
+                    }
+                }
+                Event::Timeout {
+                    node,
+                    attempt,
+                    epoch,
+                } => {
+                    let i = node as usize;
+                    if self.crashes.alive_in(i, t) {
+                        let p = self.pending[i];
+                        // The epoch tag rejects timeouts abandoned by
+                        // an earlier local epoch.
+                        if !p.resolved && p.attempt == attempt && self.epochs[i] + 1 == epoch {
+                            self.start_attempt_async(node, attempt + 1, at, rewards, &mut rm);
+                        }
+                    }
+                }
+            }
+        }
+        self.async_clock = window_end;
 
         self.crashes.advance_to(t + 1);
         self.metrics.absorb(&rm);
@@ -519,7 +1022,10 @@ impl GroupDynamics for EventRuntime {
     }
 
     fn label(&self) -> &str {
-        "social (event-driven)"
+        match self.mode {
+            Mode::Quiesced => "social (event-driven)",
+            Mode::Async(_) => "social (event-driven, async)",
+        }
     }
 }
 
@@ -542,6 +1048,13 @@ impl ProtocolRuntime for EventRuntime {
 
     fn rounds_completed(&self) -> u64 {
         EventRuntime::rounds_completed(self)
+    }
+
+    fn execution_model(&self) -> ExecutionModel {
+        match self.mode {
+            Mode::Quiesced => ExecutionModel::EpochQuiesced,
+            Mode::Async(_) => ExecutionModel::FullyAsync,
+        }
     }
 }
 
@@ -691,6 +1204,184 @@ mod tests {
             net.distribution()
         };
         assert_eq!(drive(1), drive(999));
+    }
+
+    #[test]
+    fn async_clean_network_converges_to_best_option() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 500), 2)
+            .with_async_epochs(StalenessBound::Unbounded);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let rewards = [rng.gen_bool(0.9), rng.gen_bool(0.3)];
+            net.tick(&rewards);
+        }
+        assert!(
+            net.distribution()[0] > 0.8,
+            "share {}",
+            net.distribution()[0]
+        );
+    }
+
+    #[test]
+    fn async_local_epochs_are_monotone_and_track_the_tick_cadence() {
+        let faults = FaultPlan::with_drop_prob(0.4).unwrap();
+        let mut net = EventRuntime::new(DistConfig::new(params(), 60).with_faults(faults), 8)
+            .with_async_epochs(StalenessBound::Epochs(1));
+        let mut prev = vec![0u64; 60];
+        for t in 1..=40u64 {
+            net.tick(&[true, false]);
+            for (i, slot) in prev.iter_mut().enumerate() {
+                let e = net.local_epoch(i);
+                assert!(e >= *slot, "node {i} epoch went backwards");
+                // The cadence caps progress at about one epoch per
+                // tick; retries under 40% loss may slow a node well
+                // below that, but never to a crawl.
+                assert!(e <= t + 2, "node {i} outran its cadence: {e} > {t} + 2");
+                assert!(e >= t / 8, "node {i} stalled: {e} << {t}");
+                *slot = e;
+            }
+        }
+    }
+
+    #[test]
+    fn async_epochs_overlap_under_message_loss() {
+        // Loss forces retry storms on some nodes while others cruise,
+        // so local epochs must drift apart — the barrier really is
+        // gone. (Quiesced mode reports spread 0 by definition.)
+        let faults = FaultPlan::with_drop_prob(0.5).unwrap();
+        let mut net = EventRuntime::new(DistConfig::new(params(), 200).with_faults(faults), 5)
+            .with_async_epochs(StalenessBound::Unbounded);
+        let mut max_spread = 0;
+        for _ in 0..60 {
+            net.tick(&[true, false]);
+            max_spread = max_spread.max(net.epoch_spread());
+        }
+        assert!(max_spread > 0, "epochs never overlapped");
+    }
+
+    #[test]
+    fn async_unbounded_staleness_never_counts_stale_replies() {
+        let faults = FaultPlan::with_drop_prob(0.3).unwrap().crash(1, 8);
+        let mut net = EventRuntime::new(DistConfig::new(params(), 80).with_faults(faults), 6)
+            .with_async_epochs(StalenessBound::Unbounded);
+        for _ in 0..50 {
+            let rm = net.tick(&[true, false]);
+            assert_eq!(rm.stale_replies, 0);
+        }
+        assert_eq!(net.metrics().stale_replies, 0);
+    }
+
+    #[test]
+    fn async_tight_staleness_bound_withholds_replies_under_loss() {
+        // Heavy loss spreads the fleet's local epochs; with bound 0,
+        // laggards must refuse queries from the nodes that raced
+        // ahead.
+        let faults = FaultPlan::with_drop_prob(0.6).unwrap();
+        let mut net = EventRuntime::new(DistConfig::new(params(), 150).with_faults(faults), 7)
+            .with_async_epochs(StalenessBound::Epochs(0));
+        for _ in 0..80 {
+            net.tick(&[true, false]);
+        }
+        assert!(
+            net.metrics().stale_replies > 0,
+            "bound 0 under 60% loss never found a stale responder"
+        );
+        // Withheld replies push queriers toward retries/fallbacks, but
+        // learning must survive.
+        assert!(net.distribution()[0] > 0.5);
+    }
+
+    #[test]
+    fn async_deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let faults = FaultPlan::with_drop_prob(0.4).unwrap().crash(3, 10);
+            let mut net =
+                EventRuntime::new(DistConfig::new(params(), 50).with_faults(faults), seed)
+                    .with_async_epochs(StalenessBound::Epochs(2));
+            let mut out = Vec::new();
+            for t in 0..40 {
+                net.tick(&[t % 2 == 0, t % 3 == 0]);
+                out.push(net.distribution());
+            }
+            (out, net.metrics())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn async_crashed_nodes_leave_the_distribution_and_stop_pacing() {
+        let faults = FaultPlan::none().crash(0, 5).crash(1, 5);
+        let mut net = EventRuntime::new(DistConfig::new(params(), 6).with_faults(faults), 9)
+            .with_async_epochs(StalenessBound::Unbounded);
+        for _ in 0..20 {
+            net.tick(&[true, true]);
+        }
+        assert_eq!(net.alive_count(), 4);
+        assert!(net.counts().iter().sum::<u64>() <= 4);
+        // Dead nodes' epochs froze at or near the crash round; the
+        // fleet kept ticking past them.
+        assert!(net.local_epoch(0) < net.local_epoch(5));
+    }
+
+    #[test]
+    fn async_single_node_fleet_never_queries() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 1), 7)
+            .with_async_epochs(StalenessBound::Epochs(0));
+        for _ in 0..30 {
+            net.tick(&[true, false]);
+        }
+        assert_eq!(net.metrics().queries_sent, 0);
+        assert!(net.metrics().explorations + net.metrics().fallbacks > 0);
+    }
+
+    #[test]
+    fn async_total_loss_means_no_replies() {
+        let faults = FaultPlan::with_drop_prob(1.0).unwrap();
+        let mut net = EventRuntime::new(DistConfig::new(params(), 40).with_faults(faults), 5)
+            .with_async_epochs(StalenessBound::Unbounded);
+        for _ in 0..20 {
+            net.tick(&[true, true]);
+        }
+        assert_eq!(net.metrics().replies_received, 0);
+        assert!(net.metrics().fallbacks > 0);
+    }
+
+    #[test]
+    fn execution_models_are_reported_through_the_trait() {
+        let quiesced = EventRuntime::new(DistConfig::new(params(), 4), 1);
+        let asynch = EventRuntime::new(DistConfig::new(params(), 4), 1)
+            .with_async_epochs(StalenessBound::Epochs(3));
+        assert_eq!(
+            ProtocolRuntime::execution_model(&quiesced),
+            ExecutionModel::EpochQuiesced
+        );
+        assert_eq!(
+            ProtocolRuntime::execution_model(&asynch),
+            ExecutionModel::FullyAsync
+        );
+        assert!(!quiesced.is_async());
+        assert!(asynch.is_async());
+        assert_eq!(asynch.staleness_bound(), Some(StalenessBound::Epochs(3)));
+        assert_eq!(quiesced.staleness_bound(), None);
+        assert_eq!(asynch.label(), "social (event-driven, async)");
+    }
+
+    #[test]
+    fn staleness_bound_allows_and_formats() {
+        assert!(StalenessBound::Unbounded.allows(u64::MAX));
+        assert!(StalenessBound::Epochs(2).allows(2));
+        assert!(!StalenessBound::Epochs(2).allows(3));
+        assert_eq!(StalenessBound::Unbounded.to_string(), "unbounded");
+        assert_eq!(StalenessBound::Epochs(4).to_string(), "4");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first tick")]
+    fn async_switch_after_first_tick_rejected() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 4), 1);
+        net.tick(&[true, false]);
+        let _ = net.with_async_epochs(StalenessBound::Unbounded);
     }
 
     #[test]

@@ -31,11 +31,12 @@
 //! nodes toward the uniform fallback: learning slows but stays
 //! well-defined.
 //!
-//! # Two runtimes
+//! # Three execution models
 //!
-//! The crate ships two interchangeable realizations of the protocol,
-//! both O(1) protocol state per node and both driving the same
-//! [`GroupDynamics`] interface (see also [`ProtocolRuntime`]):
+//! The crate ships two runtime types realizing three execution models
+//! of the same protocol, all O(1) protocol state per node and all
+//! driving the same [`GroupDynamics`] interface (see also
+//! [`ProtocolRuntime`] and [`ExecutionModel`]):
 //!
 //! * [`Runtime`] — **round-synchronous**: a global barrier between
 //!   rounds; every query/reply exchange completes within the round it
@@ -43,12 +44,21 @@
 //!   choice vector is double-buffered and the count vector reused),
 //!   with [`ProtocolRuntime::run_batch`] reporting per-batch counter
 //!   deltas. Use it for law-level experiments and for raw throughput.
-//! * [`EventRuntime`] — **event-driven**: a seeded discrete-event
-//!   scheduler delivers query/reply messages with per-message latency
-//!   jitter through bounded per-node FIFO queues; lost messages and
-//!   unanswered queries are recovered by timeout-driven retries. Use
-//!   it to model asynchrony, queue backpressure, and transport
-//!   behavior that a global barrier hides.
+//! * [`EventRuntime`] — **epoch-quiesced event-driven** (the default):
+//!   a seeded discrete-event scheduler delivers query/reply messages
+//!   with per-message latency jitter through bounded per-node FIFO
+//!   queues; lost messages and unanswered queries are recovered by
+//!   timeout-driven retries, and each epoch runs to quiescence before
+//!   the next begins. Use it to model transport behavior — latency,
+//!   queue backpressure — that a global barrier hides.
+//! * [`EventRuntime::with_async_epochs`] — **fully asynchronous**: the
+//!   quiescence barrier is gone. Every node advances its own local
+//!   epoch the moment its reply (or timeout fallback) lands, epochs
+//!   overlap across the fleet, queries carry the sender's epoch, and
+//!   replies staler than a configurable [`StalenessBound`] are
+//!   withheld (counted in [`RoundMetrics::stale_replies`]). Use it to
+//!   study convergence under staleness à la Su–Zubeldia–Lynch
+//!   (arXiv:1802.08159).
 //!
 //! # Example
 //!
@@ -72,7 +82,9 @@
 
 mod event;
 
-pub use event::{EventRuntime, DEFAULT_QUEUE_BOUND, MAX_MESSAGE_LATENCY};
+pub use event::{
+    EventRuntime, StalenessBound, ASYNC_EPOCH_PERIOD, DEFAULT_QUEUE_BOUND, MAX_MESSAGE_LATENCY,
+};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -277,6 +289,11 @@ pub struct RoundMetrics {
     /// round-synchronous [`Runtime`], which has no queues; the
     /// event-driven [`EventRuntime`] counts backpressure drops here).
     pub queue_drops: u64,
+    /// Replies withheld because the responder's information was more
+    /// than the configured staleness bound behind the querier's local
+    /// epoch. Always 0 outside fully-async execution, and 0 in async
+    /// execution when the bound is [`StalenessBound::Unbounded`].
+    pub stale_replies: u64,
 }
 
 /// Cumulative counters across all rounds of a [`Runtime`].
@@ -294,6 +311,8 @@ pub struct Metrics {
     pub explorations: u64,
     /// Total messages rejected by full receiver queues.
     pub queue_drops: u64,
+    /// Total replies withheld as too stale (fully-async mode only).
+    pub stale_replies: u64,
 }
 
 impl Metrics {
@@ -317,6 +336,7 @@ impl Metrics {
             fallbacks: self.fallbacks - earlier.fallbacks,
             explorations: self.explorations - earlier.explorations,
             queue_drops: self.queue_drops - earlier.queue_drops,
+            stale_replies: self.stale_replies - earlier.stale_replies,
         }
     }
 
@@ -327,6 +347,7 @@ impl Metrics {
         self.fallbacks += rm.fallbacks;
         self.explorations += rm.explorations;
         self.queue_drops += rm.queue_drops;
+        self.stale_replies += rm.stale_replies;
     }
 }
 
@@ -394,7 +415,7 @@ impl CrashTracker {
 /// All randomness — protocol choices *and* fault realizations — comes
 /// from the seed passed to [`Runtime::new`], so runs are exactly
 /// reproducible. The runtime also implements
-/// [`GroupDynamics`](sociolearn_core::GroupDynamics) so the simulation
+/// [`GroupDynamics`] so the simulation
 /// and experiment harnesses can drive it like any in-memory dynamics
 /// (the caller-provided RNG is ignored in favor of the internal one).
 ///
@@ -624,14 +645,51 @@ impl GroupDynamics for Runtime {
     }
 }
 
+/// How a [`ProtocolRuntime`] executes the protocol in (virtual) time —
+/// the axis the runtimes differ on, surfaced through the shared trait
+/// so harnesses can label and select execution models generically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionModel {
+    /// A global barrier between rounds: every query/reply exchange
+    /// completes within the round it was issued ([`Runtime`]).
+    RoundSync,
+    /// A discrete-event scheduler with jittered wakes and latencies,
+    /// but each epoch still runs to quiescence before the next starts
+    /// (the default [`EventRuntime`]).
+    EpochQuiesced,
+    /// No barrier at all: every node advances its own local epoch the
+    /// moment its reply or timeout fallback lands, and epochs overlap
+    /// across the fleet ([`EventRuntime::with_async_epochs`]).
+    FullyAsync,
+}
+
+impl ExecutionModel {
+    /// Short human-readable label, stable across releases (used in
+    /// experiment tables and CSV columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionModel::RoundSync => "round-sync",
+            ExecutionModel::EpochQuiesced => "epoch-quiesced",
+            ExecutionModel::FullyAsync => "fully-async",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The driving surface shared by the crate's two runtimes, so
 /// harnesses, experiments, and examples can swap the round-synchronous
-/// [`Runtime`] and the event-driven [`EventRuntime`] interchangeably:
-/// step the protocol with fresh rewards, read the per-round and
-/// cumulative counters, and watch the fleet shrink as crashes land.
+/// [`Runtime`] and the event-driven [`EventRuntime`] (epoch-quiesced
+/// or fully-async) interchangeably: step the protocol with fresh
+/// rewards, read the per-round and cumulative counters, and watch the
+/// fleet shrink as crashes land.
 ///
 /// Both implementors also implement
-/// [`GroupDynamics`](sociolearn_core::GroupDynamics) (a supertrait
+/// [`GroupDynamics`] (a supertrait
 /// here), so anything driving the abstract dynamics — `run_one`,
 /// regret trackers, the sweep machinery — works on them unchanged.
 pub trait ProtocolRuntime: GroupDynamics {
@@ -654,6 +712,10 @@ pub trait ProtocolRuntime: GroupDynamics {
 
     /// Rounds completed so far.
     fn rounds_completed(&self) -> u64;
+
+    /// Which execution model this runtime realizes — round-sync,
+    /// epoch-quiesced event-driven, or fully asynchronous.
+    fn execution_model(&self) -> ExecutionModel;
 
     /// Runs one round per entry of `rewards_per_round`, returning the
     /// [`Metrics`] accumulated over just this batch (a
@@ -696,6 +758,10 @@ impl ProtocolRuntime for Runtime {
 
     fn rounds_completed(&self) -> u64 {
         Runtime::rounds_completed(self)
+    }
+
+    fn execution_model(&self) -> ExecutionModel {
+        ExecutionModel::RoundSync
     }
 }
 

@@ -4,7 +4,9 @@
 //! tests exercise.
 
 use sociolearn_core::{GroupDynamics, Params};
-use sociolearn_dist::{DistConfig, FaultPlan, FaultPlanError, Runtime};
+use sociolearn_dist::{
+    DistConfig, EventRuntime, FaultPlan, FaultPlanError, Runtime, StalenessBound,
+};
 
 #[test]
 fn drop_prob_validation_rejects_out_of_range() {
@@ -113,4 +115,60 @@ fn crash_at_round_one_is_dead_from_the_start() {
     // The survivor never gets a reply (its only peer is dead), so it
     // can only explore or fall back — never copy.
     assert_eq!(net.metrics().replies_received, 0);
+}
+
+#[test]
+fn same_plan_applies_across_all_three_execution_models() {
+    // One fault schedule, three execution models: the crash lands at
+    // the same round everywhere, and message loss degrades copying
+    // without stopping learning under any of them.
+    let params = Params::new(2, 0.65).unwrap();
+    let plan = FaultPlan::with_drop_prob(0.25)
+        .unwrap()
+        .crash(0, 8)
+        .crash(1, 8);
+    let cfg = DistConfig::new(params, 40).with_faults(plan);
+
+    let mut sync = Runtime::new(cfg.clone(), 11);
+    let mut quiesced = EventRuntime::new(cfg.clone(), 11);
+    let mut asynch = EventRuntime::new(cfg, 11).with_async_epochs(StalenessBound::Epochs(2));
+    for t in 1..=30u64 {
+        let rewards = [true, t % 4 == 0];
+        let a = sync.round(&rewards).alive;
+        let b = quiesced.tick(&rewards).alive;
+        let c = asynch.tick(&rewards).alive;
+        let expected = if t < 8 { 40 } else { 38 };
+        assert_eq!((a, b, c), (expected, expected, expected), "round {t}");
+    }
+    for share in [
+        sync.distribution()[0],
+        quiesced.distribution()[0],
+        asynch.distribution()[0],
+    ] {
+        assert!(share > 0.6, "learning collapsed under faults: {share}");
+    }
+}
+
+#[test]
+fn async_crash_of_whole_fleet_halts_progress_but_not_the_clock() {
+    let params = Params::new(2, 0.65).unwrap();
+    let mut plan = FaultPlan::none();
+    for node in 0..5 {
+        plan = plan.crash(node, 4);
+    }
+    let mut net = EventRuntime::new(DistConfig::new(params, 5).with_faults(plan), 2)
+        .with_async_epochs(StalenessBound::Unbounded);
+    for _ in 0..12 {
+        net.tick(&[true, false]);
+    }
+    assert_eq!(net.alive_count(), 0);
+    assert_eq!(net.rounds_completed(), 12);
+    // Every local epoch froze at or before the crash round.
+    for i in 0..5 {
+        assert!(net.local_epoch(i) <= 4);
+    }
+    // Nobody committed anywhere: the distribution falls back to
+    // uniform rather than dividing by zero.
+    assert_eq!(net.counts().iter().sum::<u64>(), 0);
+    assert!((net.distribution()[0] - 0.5).abs() < 1e-12);
 }

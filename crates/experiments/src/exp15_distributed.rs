@@ -2,14 +2,15 @@
 //! distributed protocol matches the in-memory dynamics when the
 //! network is clean, costs O(N) messages per round and O(1) memory
 //! per node, and degrades gracefully under message loss and crashes.
-//! Both runtimes — the round-synchronous [`Runtime`] and the
-//! event-driven [`EventRuntime`] — are driven through the shared
+//! All three execution models — the round-synchronous [`Runtime`],
+//! the epoch-quiesced [`EventRuntime`], and its fully-async
+//! overlapping-epoch mode — are driven through the shared
 //! [`ProtocolRuntime`] surface and measured side by side.
 
 use crate::{verdict, ExpContext, ExperimentReport};
 use sociolearn_core::{BernoulliRewards, FinitePopulation, Params};
 use sociolearn_dist::{
-    DistConfig, EventRuntime, FaultPlan, ProtocolRuntime, Runtime, NODE_STATE_BYTES,
+    DistConfig, EventRuntime, FaultPlan, ProtocolRuntime, Runtime, StalenessBound, NODE_STATE_BYTES,
 };
 use sociolearn_plot::{fmt_sig, CsvWriter, MarkdownTable};
 use sociolearn_sim::{replicate, run_one, RunConfig, SeedTree};
@@ -106,31 +107,41 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         "fallbacks",
     ]);
     let mut all_ok = true;
-    let mut clean_regret = [f64::NAN; 2];
+    let mut clean_regret = [f64::NAN; 3];
 
-    // Every condition runs on both runtimes through `measure_fleet`;
-    // `runtime_idx` 0 is round-synchronous, 1 is event-driven.
+    // Every condition runs on all three execution models through
+    // `measure_fleet`; `runtime_idx` 0 is round-synchronous, 1 is the
+    // epoch-quiesced event scheduler, 2 is fully-async overlapping
+    // epochs (staleness unbounded — the pure no-barrier regime; E17
+    // sweeps the staleness bound itself).
     let run_condition = |runtime_idx: usize, fault: FaultPlan, salt: u64| {
         let seed = tree.subtree(10 + 200 * runtime_idx as u64 + salt).root();
         let cfg = DistConfig::new(params, n).with_faults(fault);
-        if runtime_idx == 0 {
-            measure_fleet(
+        match runtime_idx {
+            0 => measure_fleet(
                 |s| Runtime::new(cfg.clone(), s),
                 &env,
                 m,
                 horizon,
                 reps,
                 seed,
-            )
-        } else {
-            measure_fleet(
+            ),
+            1 => measure_fleet(
                 |s| EventRuntime::new(cfg.clone(), s),
                 &env,
                 m,
                 horizon,
                 reps,
                 seed,
-            )
+            ),
+            _ => measure_fleet(
+                |s| EventRuntime::new(cfg.clone(), s).with_async_epochs(StalenessBound::Unbounded),
+                &env,
+                m,
+                horizon,
+                reps,
+                seed,
+            ),
         }
     };
 
@@ -140,7 +151,11 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         crash_fault = crash_fault.crash(node, horizon / 3);
     }
 
-    for (runtime_idx, runtime_name) in [(0usize, "round-sync"), (1, "event-driven")] {
+    for (runtime_idx, runtime_name) in [
+        (0usize, "round-sync"),
+        (1, "epoch-quiesced"),
+        (2, "fully-async"),
+    ] {
         for (i, &drop) in drop_rates.iter().enumerate() {
             let fault = if drop == 0.0 {
                 FaultPlan::none()
@@ -151,8 +166,8 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
             let ok = if drop == 0.0 {
                 clean_regret[runtime_idx] = regret;
                 // Clean network must match the in-memory dynamics
-                // closely — for *both* runtimes (the law-level
-                // equivalence the tentpole promises).
+                // closely — for *all three* execution models (the
+                // law-level equivalence the runtimes promise).
                 (regret - ref_regret.mean()).abs() < 0.05 && msgs < 6.0 * n as f64
             } else {
                 // Faulty networks may pay extra regret but must keep
@@ -203,19 +218,21 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
     let _ = csv.save(ctx.path("E15.csv"));
 
     let markdown = format!(
-        "The conclusion's proposal, measured on both runtimes: query/reply gossip \
-         where each node stores only its current option ({bytes} bytes of protocol \
-         state — no weight vector), executed round-synchronously and event-driven \
-         (jittered wakes, latency-jittered messages, bounded FIFO inboxes, \
-         timeout-driven retries). N = {n}, m = {m}, beta = 0.65, horizon {horizon}, \
-         {reps} reps, seed {seed}. In-memory reference regret at the same N: \
-         {refr}.\n\n{table}\n\
-         Reading: clean-network regret (round-sync {clean_rs}, event-driven \
-         {clean_ev}) matches the in-memory dynamics for both runtimes; message cost \
-         stays a small multiple of N per round (retries against sit-outs); loss and \
-         crashes degrade throughput of *copying*, pushing nodes toward uniform \
-         fallback — learning slows but does not collapse, under either execution \
-         model.\n",
+        "The conclusion's proposal, measured on all three execution models: \
+         query/reply gossip where each node stores only its current option \
+         ({bytes} bytes of protocol state — no weight vector), executed \
+         round-synchronously, epoch-quiesced event-driven (jittered wakes, \
+         latency-jittered messages, bounded FIFO inboxes, timeout-driven \
+         retries), and fully-async (overlapping local epochs, no quiescence \
+         barrier; staleness unbounded here — E17 sweeps the bound). N = {n}, \
+         m = {m}, beta = 0.65, horizon {horizon}, {reps} reps, seed {seed}. \
+         In-memory reference regret at the same N: {refr}.\n\n{table}\n\
+         Reading: clean-network regret (round-sync {clean_rs}, epoch-quiesced \
+         {clean_ev}, fully-async {clean_as}) matches the in-memory dynamics for \
+         every execution model; message cost stays a small multiple of N per \
+         round (retries against sit-outs); loss and crashes degrade throughput \
+         of *copying*, pushing nodes toward uniform fallback — learning slows \
+         but does not collapse, under any execution model.\n",
         bytes = NODE_STATE_BYTES,
         n = n,
         m = m,
@@ -226,6 +243,7 @@ pub(crate) fn run(ctx: &ExpContext) -> ExperimentReport {
         table = table.render(),
         clean_rs = fmt_sig(clean_regret[0], 3),
         clean_ev = fmt_sig(clean_regret[1], 3),
+        clean_as = fmt_sig(clean_regret[2], 3),
     );
 
     ExperimentReport {

@@ -37,6 +37,7 @@ mod exp13_mu_role;
 mod exp14_ef_reduction;
 mod exp15_distributed;
 mod exp16_nonuniform_start;
+mod exp17_async_staleness;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -227,6 +228,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "regret small after ln(1/zeta)/delta^2 steps from any zeta-floor start",
             run: exp16_nonuniform_start::run,
         },
+        Experiment {
+            id: "E17",
+            title: "Fully-async overlapping epochs: convergence vs staleness (Section 6)",
+            claim: "without the quiescence barrier the fleet still converges; staleness and loss cost time, not the limit",
+            run: exp17_async_staleness::run,
+        },
     ]
 }
 
@@ -273,7 +280,7 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         for (i, e) in reg.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
             assert!(!e.title.is_empty());

@@ -14,7 +14,7 @@
 //! * [`core`] — the dynamics themselves (finite, per-agent, infinite,
 //!   stochastic MWU), parameters and theorem bounds, regret and
 //!   coupling machinery.
-//! * [`env`](sociolearn_env) — reward environments: correlated
+//! * [`mod@env`] — reward environments: correlated
 //!   best-of-two/best-of-m, continuous duels with shocks, drift,
 //!   thresholded rewards, traces.
 //! * [`graph`] / [`network`] — topologies and the network-restricted
@@ -25,7 +25,7 @@
 //!   fault injection (the paper's sensor-network suggestion).
 //! * [`sim`] — seed trees, replication, parallel sweeps, aggregation.
 //! * [`stats`] / [`plot`] — the numerics and figure substrate.
-//! * [`experiments`] — the E1–E16 reproduction suite.
+//! * [`experiments`] — the E1–E17 reproduction suite.
 //!
 //! ## Quickstart
 //!

@@ -5,7 +5,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sociolearn::core::{AgentPopulation, FinitePopulation, GroupDynamics, Params};
-use sociolearn::dist::{DistConfig, EventRuntime, Runtime};
+use sociolearn::dist::{DistConfig, EventRuntime, Runtime, StalenessBound};
 use sociolearn::env::TraceRewards;
 use sociolearn::graph::topology;
 use sociolearn::network::NetworkPopulation;
@@ -200,6 +200,49 @@ fn two_runtimes_agree_in_law_with_each_other() {
 }
 
 #[test]
+fn async_bound_zero_matches_quiesced_event_runtime() {
+    // The staleness-bound sanity anchor: with bound 0 a fully-async
+    // responder only answers when its information is at least as
+    // current as a synchronized peer's would be, so removing the
+    // barrier changes the *schedule* but not the law. (Unbounded
+    // staleness is the regime E17 charts; bound 0 is the limit that
+    // must coincide with quiesced execution.)
+    let m = 2;
+    let n = 400;
+    let steps = 15;
+    let params = Params::new(m, 0.65).unwrap();
+    let reps = 200u64;
+
+    let quiesced: Vec<f64> = (0..reps)
+        .map(|i| {
+            final_share(
+                EventRuntime::new(DistConfig::new(params, n), 810_000 + i),
+                steps,
+                m,
+                81_000 + i,
+            )
+        })
+        .collect();
+    let asynch: Vec<f64> = (0..reps)
+        .map(|i| {
+            final_share(
+                EventRuntime::new(DistConfig::new(params, n), 830_000 + i)
+                    .with_async_epochs(StalenessBound::Epochs(0)),
+                steps,
+                m,
+                83_000 + i,
+            )
+        })
+        .collect();
+
+    let ks = ks_two_sample(&asynch, &quiesced);
+    assert!(
+        ks.accepts_at(0.001),
+        "async(bound 0) vs quiesced event runtime differ in law: {ks:?}"
+    );
+}
+
+#[test]
 fn all_forms_converge_to_same_steady_share() {
     let m = 2;
     let n = 2_000;
@@ -221,6 +264,13 @@ fn all_forms_converge_to_same_steady_share() {
             steps,
             m,
             5,
+        ),
+        final_share(
+            EventRuntime::new(DistConfig::new(params, n), 60)
+                .with_async_epochs(StalenessBound::Unbounded),
+            steps,
+            m,
+            6,
         ),
     ];
     for (i, &s) in shares.iter().enumerate() {

@@ -10,7 +10,7 @@ use sociolearn::core::{
     assert_distribution, ratio_deviation, sample_multinomial, tv_distance, AgentPopulation,
     AliasTable, FinitePopulation, GroupDynamics, InfiniteDynamics, Params, StochasticMwu,
 };
-use sociolearn::dist::{DistConfig, EventRuntime, FaultPlan, Runtime};
+use sociolearn::dist::{DistConfig, EventRuntime, FaultPlan, Runtime, StalenessBound};
 use sociolearn::stats::Summary;
 
 /// Strategy: valid model parameters (alpha <= beta enforced).
@@ -251,6 +251,94 @@ proptest! {
         let totals = net.metrics();
         prop_assert_eq!(totals.rounds, steps as u64);
         prop_assert!(totals.replies_received <= totals.queries_sent);
+    }
+
+    #[test]
+    fn async_event_runtime_invariants(
+        seed in any::<u64>(),
+        m in 2usize..5,
+        n in 1usize..60,
+        steps in 1usize..12,
+        drop in 0.0f64..=1.0,
+        // 0..6 are finite staleness bounds; 6 encodes `Unbounded`.
+        raw_bound in 0u64..7,
+        crashes in proptest::collection::vec((0usize..60, 1u64..12), 0..4),
+    ) {
+        let params = Params::new(m, 0.65).expect("valid");
+        let mut fault = FaultPlan::with_drop_prob(drop).expect("valid drop prob");
+        for (node, round) in crashes {
+            fault = fault.crash(node % n, round);
+        }
+        let bound = (raw_bound < 6).then_some(raw_bound);
+        let sb = bound.map_or(StalenessBound::Unbounded, StalenessBound::Epochs);
+        let mut net = EventRuntime::new(DistConfig::new(params, n).with_faults(fault), seed)
+            .with_async_epochs(sb);
+        let mut reward_rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let mut prev_epochs: Vec<u64> = vec![0; n];
+        for t in 1..=steps as u64 {
+            let rewards: Vec<bool> =
+                (0..m).map(|_| rand::Rng::gen_bool(&mut reward_rng, 0.5)).collect();
+            let rm = net.tick(&rewards);
+            // Per-node local epochs are monotone and capped by the
+            // cadence (about one epoch per tick, never more than a
+            // couple ahead of the tick count).
+            for (i, prev) in prev_epochs.iter_mut().enumerate() {
+                let e = net.local_epoch(i);
+                prop_assert!(e >= *prev, "node {i} epoch went backwards");
+                prop_assert!(e <= t + 2, "node {i} outran the cadence");
+                *prev = e;
+            }
+            // An unbounded staleness bound never withholds a reply.
+            if bound.is_none() {
+                prop_assert_eq!(rm.stale_replies, 0);
+            }
+            // Every commit comes from a resolved stage 1.
+            prop_assert!(
+                (rm.committed as u64) <= rm.explorations + rm.fallbacks + rm.replies_received
+            );
+            prop_assert!(rm.replies_received <= rm.queries_sent);
+            prop_assert!(net.max_queue_depth() <= net.queue_bound());
+            // The distribution is always a distribution, whatever mix
+            // of local epochs the fleet is spread over.
+            assert_distribution(&net.distribution(), 1e-9);
+        }
+        let totals = net.metrics();
+        prop_assert_eq!(totals.rounds, steps as u64);
+        prop_assert!(totals.replies_received <= totals.queries_sent);
+        if bound.is_none() {
+            prop_assert_eq!(totals.stale_replies, 0);
+        }
+    }
+
+    #[test]
+    fn async_event_runtime_deterministic_for_fixed_seed(
+        seed in any::<u64>(),
+        n in 1usize..50,
+        drop in 0.0f64..=0.9,
+        // 0..4 are finite staleness bounds; 4 encodes `Unbounded`.
+        raw_bound in 0u64..5,
+    ) {
+        let params = Params::new(3, 0.6).expect("valid");
+        let sb = if raw_bound < 4 {
+            StalenessBound::Epochs(raw_bound)
+        } else {
+            StalenessBound::Unbounded
+        };
+        let run = |seed: u64| {
+            let fault = FaultPlan::with_drop_prob(drop).expect("valid").crash(0, 5);
+            let mut net = EventRuntime::new(DistConfig::new(params, n).with_faults(fault), seed)
+                .with_async_epochs(sb);
+            let mut dists = Vec::new();
+            for t in 0..10u64 {
+                net.tick(&[t % 2 == 0, t % 3 == 0, true]);
+                dists.push(net.distribution());
+            }
+            (dists, net.metrics())
+        };
+        let (da, ma) = run(seed);
+        let (db, mb) = run(seed);
+        prop_assert_eq!(da, db, "same seed must reproduce the trajectory");
+        prop_assert_eq!(ma, mb, "same seed must reproduce the message counters");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Round-synchronous vs. batched vs. event-driven (epoch-quiesced and
-//! fully-async) runtime cost at fleet scale, plus a faithful
-//! reimplementation of the pre-refactor (allocating) round as the
-//! baseline the allocation-free path is measured against.
+//! fully-async, each on both the single-heap and sharded
+//! calendar-queue schedulers) runtime cost at fleet scale, plus a
+//! faithful reimplementation of the pre-refactor (allocating) round
+//! as the baseline the allocation-free path is measured against.
 //!
 //! Besides the console output, a run writes machine-readable results
 //! to `results/BENCH_dist.json` at the workspace root (mean ns/round
@@ -16,7 +17,8 @@ use rand::{Rng, SeedableRng};
 use sociolearn_bench::{bench_params, reward_stream};
 use sociolearn_core::Params;
 use sociolearn_dist::{
-    DistConfig, EventRuntime, ProtocolRuntime, Runtime, StalenessBound, MAX_QUERY_RETRIES,
+    DistConfig, EventRuntime, ProtocolRuntime, Runtime, SchedulerKind, StalenessBound,
+    MAX_QUERY_RETRIES,
 };
 
 /// Options per fleet in every benchmark.
@@ -26,6 +28,11 @@ const SIZES: &[usize] = &[1_000, 10_000, 100_000];
 /// Rounds per iteration on the batched path (encoded in the bench id
 /// so the JSON emitter can normalize back to ns/round).
 const BATCH_ROUNDS: usize = 16;
+/// Shard count for the sharded-calendar scheduler rows. Eight gives
+/// the best single-core locality at N = 1e5 (each shard's node state
+/// stays cache-resident through its window sweep) and exercises the
+/// cross-shard mailboxes harder than the minimum of four.
+const BENCH_SHARDS: usize = 8;
 
 /// The seed (pre-refactor) `Runtime::round` hot path, reproduced
 /// faithfully: per round it allocates a fresh `next` choice vector
@@ -166,6 +173,24 @@ fn dist_runtime_benches(c: &mut Criterion) {
             });
         });
 
+        // The sharded calendar-queue scheduler on the same quiesced
+        // deployment: same law, O(1) scheduling instead of the heap.
+        group.bench_with_input(
+            BenchmarkId::new(format!("event_sharded{BENCH_SHARDS}"), n),
+            &n,
+            |b, &n| {
+                let mut net = EventRuntime::new(DistConfig::new(bench_params(M), n), 3)
+                    .with_scheduler(SchedulerKind::ShardedCalendar {
+                        shards: BENCH_SHARDS,
+                    });
+                let mut t = 0usize;
+                b.iter(|| {
+                    net.tick(&rewards[t % rewards.len()]);
+                    t += 1;
+                });
+            },
+        );
+
         // Fully-async overlapping epochs: one iteration advances the
         // scheduler through one epoch-period window — about one local
         // epoch per node on this clean network — so ns/iteration is
@@ -180,6 +205,26 @@ fn dist_runtime_benches(c: &mut Criterion) {
                 t += 1;
             });
         });
+
+        // Fully-async on the sharded calendar scheduler — the
+        // headline row: the single `BinaryHeap` was the fully-async
+        // hot path's bottleneck, and this is the same tick without it.
+        group.bench_with_input(
+            BenchmarkId::new(format!("event_async_sharded{BENCH_SHARDS}"), n),
+            &n,
+            |b, &n| {
+                let mut net = EventRuntime::new(DistConfig::new(bench_params(M), n), 3)
+                    .with_async_epochs(StalenessBound::Unbounded)
+                    .with_scheduler(SchedulerKind::ShardedCalendar {
+                        shards: BENCH_SHARDS,
+                    });
+                let mut t = 0usize;
+                b.iter(|| {
+                    net.tick(&rewards[t % rewards.len()]);
+                    t += 1;
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,58 @@
+//! Network-restricted dynamics cost per topology at large N —
+//! the ROADMAP item beyond `graph_topologies` (which stops at
+//! N = 1 000 and mostly measures graph *generation*): how much does a
+//! neighbor-restricted step cost on a sparse ring, a hub-and-spoke
+//! star, and a constant-degree expander when the population reaches
+//! fleet scale?
+//!
+//! The complete graph is deliberately absent: its O(N²) edge list is
+//! the scaling wall the sparse topologies exist to avoid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn_bench::{bench_params, reward_stream};
+use sociolearn_core::GroupDynamics;
+use sociolearn_graph::{topology, Graph};
+use sociolearn_network::NetworkPopulation;
+
+/// Options per population in every benchmark.
+const M: usize = 2;
+/// Population sizes under test.
+const SIZES: &[usize] = &[10_000, 100_000];
+
+/// The three ROADMAP topologies at size `n`: local mixing (ring),
+/// maximal centralization (star), and fast mixing at constant degree
+/// (a random 8-regular graph — an expander with high probability).
+fn topologies(n: usize) -> Vec<(&'static str, Graph)> {
+    let mut rng = SmallRng::seed_from_u64(71);
+    vec![
+        ("ring_k2", topology::ring(n, 2)),
+        ("star", topology::star(n)),
+        ("expander_d8", topology::random_regular(n, 8, &mut rng)),
+    ]
+}
+
+fn network_dynamics_scale(c: &mut Criterion) {
+    let rewards = reward_stream(M, 64, 9);
+    let params = bench_params(M);
+    let mut group = c.benchmark_group("network_dynamics_scale");
+    for &n in SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, graph) in topologies(n) {
+            group.bench_with_input(BenchmarkId::new(label, n), &graph, |b, graph| {
+                let mut pop = NetworkPopulation::new(params, graph.clone());
+                let mut rng = SmallRng::seed_from_u64(5);
+                let mut t = 0usize;
+                b.iter(|| {
+                    pop.step(&rewards[t % rewards.len()], &mut rng);
+                    t += 1;
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, network_dynamics_scale);
+criterion_main!(benches);

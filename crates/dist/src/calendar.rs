@@ -1,0 +1,1146 @@
+//! The sharded calendar-queue scheduler: the [`EventRuntime`]'s
+//! scalable execution engine, selected with
+//! [`SchedulerKind::ShardedCalendar`].
+//!
+//! [`EventRuntime`]: crate::EventRuntime
+//!
+//! # Why
+//!
+//! The default single-heap scheduler keys every pending event in one
+//! `BinaryHeap`, so each push/pop costs `O(log E)` comparisons over a
+//! heap that holds several events per node — at fleet scale the sift
+//! paths are cache-miss chains through tens of megabytes, and they
+//! dominate the tick. This module replaces the heap with a **calendar
+//! queue**: events are bucketed by virtual-time slot in a fixed ring
+//! ([`RING_SLOTS`] wide), so enqueue is an `O(1)` append and dequeue
+//! is a linear walk of one bucket. On top of the calendar, the fleet
+//! is **sharded** by destination-node range: each shard owns the
+//! per-node state of a contiguous node block and advances its own
+//! local event stream one time window at a time, handing cross-shard
+//! messages to per-shard-pair mailboxes that are drained at window
+//! boundaries. Shards run on the `sociolearn_sim::parallel_map`
+//! scoped-thread pool when a window is dense enough to pay for the
+//! fan-out, and fall back to an in-thread sweep (with identical
+//! results) when it is not.
+//!
+//! # Determinism contract
+//!
+//! The engine is deterministic, and — stronger — its behavior is a
+//! function of the seed alone, **independent of the shard count**:
+//!
+//! * Every event carries an intrinsic `(time, source node, per-source
+//!   sequence number)` key. Within a window, a shard processes its due
+//!   events in ascending `(src, seq)` order, so the total order within
+//!   each window is fixed no matter which mailbox an event travelled
+//!   through or how many shards exist.
+//! * Randomness comes from **per-node RNG streams** split from the
+//!   root seed (one `SmallRng` per node, seeded via a SplitMix64
+//!   derivation). A node draws only from its own stream, so regrouping
+//!   nodes into different shard counts cannot reorder anyone's draws.
+//! * The window width is one virtual-time tick, and every event the
+//!   protocol schedules has a strictly positive delay, so nothing
+//!   produced inside a window can be due in that same window —
+//!   cross-shard mailboxes drained at the boundary always deliver in
+//!   time, and shards never need to peek at each other mid-window.
+//!
+//! Together these give the invariant the proptest suite pins down:
+//! for a fixed seed, ticks produce **byte-identical metrics and
+//! distributions for any shard count**, and the law of the process
+//! matches the single-heap scheduler (KS-tested in
+//! `tests/equivalence.rs`).
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sociolearn_core::Params;
+use sociolearn_sim::parallel_map;
+
+use crate::event::{
+    Event, Mode, Msg, Pending, StalenessBound, ASYNC_EPOCH_PERIOD, ASYNC_WAKE_JITTER,
+    DELIVER_DELAY, MAX_MESSAGE_LATENCY, RETRY_TIMEOUT, WAKE_SPREAD,
+};
+use crate::{CrashTracker, DistConfig, NodeState, RoundMetrics, MAX_QUERY_RETRIES, NO_CHOICE};
+
+/// Number of time slots in a [`Calendar`] ring. A power of two, and
+/// strictly larger than the longest delay the protocol ever schedules
+/// (the async epoch period plus its wake jitter), so at most one
+/// distinct virtual time can occupy a slot at any moment.
+pub const RING_SLOTS: usize = 128;
+
+// The ring must cover the longest scheduling delay: the async cadence
+// (period + jitter), the initial wake spread, and a retry timeout all
+// have to fit strictly inside one rotation.
+const _: () = assert!(ASYNC_EPOCH_PERIOD + ASYNC_WAKE_JITTER < RING_SLOTS as u64);
+const _: () = assert!(WAKE_SPREAD < RING_SLOTS as u64);
+const _: () = assert!(RETRY_TIMEOUT < RING_SLOTS as u64);
+
+/// Fewest due events in a window before the engine fans the shards out
+/// on the thread pool; sparser windows are swept in-thread (the two
+/// paths produce identical results — this is a cost knob, not a
+/// semantic one).
+const PARALLEL_WINDOW_EVENTS: usize = 2_048;
+
+/// Which scheduler drives the [`EventRuntime`](crate::EventRuntime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// The original scheduler: one global `BinaryHeap` keyed
+    /// `(time, seq)`, one global RNG stream. Exactly the pre-sharding
+    /// behavior, kept so every test can run both schedulers.
+    SingleHeap,
+    /// The sharded calendar-queue engine of this module. `shards` is
+    /// clamped to the fleet size; randomness is split into per-node
+    /// streams, so results are byte-identical across shard counts.
+    ShardedCalendar {
+        /// Number of destination-node-range shards (at least 1).
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::SingleHeap => f.write_str("single-heap"),
+            SchedulerKind::ShardedCalendar { shards } => {
+                write!(f, "sharded-calendar({shards})")
+            }
+        }
+    }
+}
+
+/// One scheduled item in a [`Calendar`]: the payload plus the
+/// intrinsic ordering key `(at, src, seq)` — virtual time, source
+/// node, and the source's own monotone sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry<E> {
+    /// Virtual time the entry is due.
+    pub at: u64,
+    /// The node (or producer id) that scheduled the entry.
+    pub src: u32,
+    /// The producer's own sequence number — FIFO tie-break for entries
+    /// of the same `(at, src)`.
+    pub seq: u32,
+    /// The scheduled payload.
+    pub payload: E,
+}
+
+impl<E> Entry<E> {
+    /// The packed `(src, seq)` tie-break key: within one time slot,
+    /// entries pop in ascending order of this key.
+    fn order_key(&self) -> u64 {
+        (u64::from(self.src) << 32) | u64::from(self.seq)
+    }
+}
+
+/// A fixed-ring calendar queue: `O(1)` amortized enqueue, bucket-walk
+/// dequeue, deterministic `(time, src, seq)` pop order.
+///
+/// The caller must keep every pending entry within one ring rotation
+/// ([`RING_SLOTS`] virtual-time units) of the earliest pending entry —
+/// the event runtime guarantees this by construction (all protocol
+/// delays are shorter than the ring), and `push` checks it in debug
+/// builds.
+///
+/// # Example
+///
+/// ```
+/// use sociolearn_dist::{Calendar, Entry};
+///
+/// let mut cal = Calendar::new();
+/// cal.push(Entry { at: 3, src: 1, seq: 0, payload: "b" });
+/// cal.push(Entry { at: 1, src: 7, seq: 0, payload: "a" });
+/// assert_eq!(cal.next_time(0), Some(1));
+/// let due = cal.take_due(1);
+/// assert_eq!(due[0].payload, "a");
+/// assert_eq!(cal.next_time(2), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Calendar<E> {
+    /// `RING_SLOTS` buckets indexed by `time % RING_SLOTS`; each holds
+    /// entries for exactly one virtual time at any moment.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Recycled bucket storage, so steady-state windows allocate
+    /// nothing.
+    spare: Vec<Entry<E>>,
+    /// Total pending entries.
+    len: usize,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Calendar::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        Calendar {
+            buckets: (0..RING_SLOTS).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Pending entries across all slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `entry`. `O(1)`: one append to the slot
+    /// `entry.at % RING_SLOTS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry.at` collides with a different virtual time
+    /// already occupying its ring slot — i.e. the caller violated the
+    /// one-rotation window contract. A silent collision would corrupt
+    /// the queue (mixed-time buckets, misreported `next_time`), so the
+    /// single-comparison guard stays on in release builds.
+    pub fn push(&mut self, entry: Entry<E>) {
+        let slot = (entry.at as usize) & (RING_SLOTS - 1);
+        let bucket = &mut self.buckets[slot];
+        assert!(
+            bucket.first().is_none_or(|e| e.at == entry.at),
+            "calendar ring collision: slot {slot} holds t={} but got t={}",
+            bucket.first().map_or(0, |e| e.at),
+            entry.at,
+        );
+        bucket.push(entry);
+        self.len += 1;
+    }
+
+    /// Entries due exactly at `now`, without removing them.
+    pub fn due_len(&self, now: u64) -> usize {
+        let bucket = &self.buckets[(now as usize) & (RING_SLOTS - 1)];
+        if bucket.first().is_some_and(|e| e.at == now) {
+            bucket.len()
+        } else {
+            0
+        }
+    }
+
+    /// Removes and returns every entry due at `now`, sorted by the
+    /// deterministic `(src, seq)` tie-break. Returns an empty vector
+    /// when nothing is due. Hand the vector back through
+    /// [`recycle`](Calendar::recycle) to keep the queue
+    /// allocation-free in steady state.
+    pub fn take_due(&mut self, now: u64) -> Vec<Entry<E>> {
+        let slot = (now as usize) & (RING_SLOTS - 1);
+        if self.buckets[slot].first().is_none_or(|e| e.at != now) {
+            return Vec::new();
+        }
+        let mut due = std::mem::replace(&mut self.buckets[slot], std::mem::take(&mut self.spare));
+        self.len -= due.len();
+        due.sort_unstable_by_key(Entry::order_key);
+        due
+    }
+
+    /// Returns a drained vector from [`take_due`](Calendar::take_due)
+    /// so its capacity is reused by a later window.
+    pub fn recycle(&mut self, mut bucket: Vec<Entry<E>>) {
+        bucket.clear();
+        if bucket.capacity() > self.spare.capacity() {
+            self.spare = bucket;
+        }
+    }
+
+    /// The earliest pending virtual time at or after `from`, scanning
+    /// at most one ring rotation. `None` when the calendar is empty.
+    pub fn next_time(&self, from: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        for offset in 0..RING_SLOTS as u64 {
+            let t = from + offset;
+            let bucket = &self.buckets[(t as usize) & (RING_SLOTS - 1)];
+            if let Some(first) = bucket.first() {
+                debug_assert_eq!(first.at, t, "pending entry outside the ring window");
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// SplitMix64 finalizer used to derive per-node seeds from the root
+/// seed: adjacent node indices map to decorrelated stream seeds, and
+/// `SmallRng::seed_from_u64` expands each another SplitMix64 round.
+fn node_stream_seed(root: u64, node: usize) -> u64 {
+    let mut z = root
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((node as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The node an event is processed at — the shard-routing key.
+fn event_target(ev: &Event) -> u32 {
+    match ev {
+        Event::Wake { node }
+        | Event::ReplyArrive { node, .. }
+        | Event::Deliver { node }
+        | Event::Timeout { node, .. } => *node,
+        Event::QueryArrive { to, .. } => *to,
+    }
+}
+
+/// The balanced node→shard partition: the first `wide` lanes own
+/// `q + 1` contiguous nodes each, the rest own `q`, so exactly
+/// `min(shards, n)` lanes exist and lane sizes differ by at most one.
+#[derive(Debug, Clone, Copy)]
+struct ShardMap {
+    /// Lanes holding `q + 1` nodes.
+    wide: usize,
+    /// First node id of the `q`-wide region (`wide * (q + 1)`).
+    split: usize,
+    /// Base nodes per lane.
+    q: usize,
+}
+
+impl ShardMap {
+    fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n);
+        let q = n / shards;
+        let wide = n % shards;
+        ShardMap {
+            wide,
+            split: wide * (q + 1),
+            q,
+        }
+    }
+
+    /// Number of lanes in the partition of `n` nodes. (`q >= 1`
+    /// always: the constructor clamps the shard count to `n`.)
+    fn lanes(&self, n: usize) -> usize {
+        self.wide + (n - self.split) / self.q
+    }
+
+    /// The lane owning `node`.
+    #[inline]
+    fn shard_of(&self, node: usize) -> usize {
+        if node < self.split {
+            node / (self.q + 1)
+        } else {
+            self.wide + (node - self.split) / self.q
+        }
+    }
+
+    /// The first node id of `lane`.
+    fn base_of(&self, lane: usize) -> usize {
+        if lane < self.wide {
+            lane * (self.q + 1)
+        } else {
+            self.split + (lane - self.wide) * self.q
+        }
+    }
+}
+
+/// Read-only per-tick context shared by every shard.
+struct Ctx<'a> {
+    params: Params,
+    mode: Mode,
+    n: usize,
+    m: usize,
+    /// The node→shard partition (owns event routing).
+    map: ShardMap,
+    mu: f64,
+    drop_prob: f64,
+    has_crashes: bool,
+    queue_bound: usize,
+    /// The 1-based runtime round (the crash clock).
+    t: u64,
+    rewards: &'a [bool],
+    crashes: &'a CrashTracker,
+}
+
+/// One shard: the full per-node state of a contiguous node range, its
+/// calendar, and one outbound mailbox per peer shard.
+#[derive(Debug, Clone)]
+struct ShardLane {
+    index: usize,
+    /// First global node id owned by this lane.
+    base: u32,
+    // Per-node state, indexed by `global - base`.
+    choices: Vec<NodeState>,
+    back: Vec<NodeState>,
+    epochs: Vec<u64>,
+    last_wake: Vec<u64>,
+    pending: Vec<Pending>,
+    inboxes: Vec<VecDeque<Msg>>,
+    rngs: Vec<SmallRng>,
+    seqs: Vec<u32>,
+    /// Commitment counts per option over this lane's nodes.
+    counts: Vec<u64>,
+    calendar: Calendar<Event>,
+    /// Per-destination-shard mailboxes, drained at window boundaries.
+    outboxes: Vec<Vec<Entry<Event>>>,
+    /// This tick's counter contributions (summed across lanes).
+    rm: RoundMetrics,
+    max_queue_depth: usize,
+}
+
+impl ShardLane {
+    fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Tags and routes an event produced by global node `src`: its own
+    /// calendar when the target is local, the matching mailbox when it
+    /// is not.
+    fn push_from(&mut self, src: u32, at: u64, ev: Event, ctx: &Ctx<'_>) {
+        let local = (src - self.base) as usize;
+        let seq = self.seqs[local];
+        self.seqs[local] = seq.wrapping_add(1);
+        let shard = ctx.map.shard_of(event_target(&ev) as usize);
+        let entry = Entry {
+            at,
+            src,
+            seq,
+            payload: ev,
+        };
+        if shard == self.index {
+            self.calendar.push(entry);
+        } else {
+            self.outboxes[shard].push(entry);
+        }
+    }
+
+    /// One latency draw from the sender's stream.
+    fn latency(&mut self, local: usize) -> u64 {
+        self.rngs[local].gen_range(1..=MAX_MESSAGE_LATENCY)
+    }
+
+    /// Whether a message sent by `local` is lost on the link.
+    fn link_drops(&mut self, local: usize, ctx: &Ctx<'_>) -> bool {
+        ctx.drop_prob > 0.0 && self.rngs[local].gen_bool(ctx.drop_prob)
+    }
+
+    /// Offers `msg` to a local node's bounded inbox; schedules the
+    /// matching `Deliver` on success, counts a backpressure drop on
+    /// overflow. Mirrors the single-heap `enqueue`.
+    fn enqueue(&mut self, local: usize, msg: Msg, now: u64, ctx: &Ctx<'_>) {
+        let inbox = &mut self.inboxes[local];
+        if inbox.len() >= ctx.queue_bound {
+            self.rm.queue_drops += 1;
+            return;
+        }
+        inbox.push_back(msg);
+        self.max_queue_depth = self.max_queue_depth.max(inbox.len());
+        let node = self.base + local as u32;
+        self.push_from(node, now + DELIVER_DELAY, Event::Deliver { node }, ctx);
+    }
+
+    /// Replaces a local node's commitment, keeping the lane's counts
+    /// in sync (the async path maintains counts incrementally).
+    fn set_commit(&mut self, local: usize, new: NodeState) {
+        let old = self.choices[local];
+        if old != NO_CHOICE {
+            self.counts[old as usize] -= 1;
+        }
+        if new != NO_CHOICE {
+            self.counts[new as usize] += 1;
+        }
+        self.choices[local] = new;
+    }
+
+    // ---- epoch-quiesced protocol, mirrored stage for stage from the
+    // ---- single-heap scheduler (same decisions, same RNG *shape*,
+    // ---- but drawn from per-node streams). The mirroring is a hard
+    // ---- contract: any protocol change in event.rs (µ-branch, retry
+    // ---- budget, peer pick, staleness rule, crash handling) MUST be
+    // ---- replicated here and in the async methods below, or the two
+    // ---- schedulers silently drift apart in law — the KS tests in
+    // ---- tests/equivalence.rs are the tripwire, not the guarantee.
+
+    /// Quiesced stage 1 resolution + stage 2 adoption.
+    fn decide_q(&mut self, local: usize, considered: u32, ctx: &Ctx<'_>) {
+        debug_assert!(!self.pending[local].resolved, "node resolved twice");
+        self.pending[local].resolved = true;
+        let adopt_p = ctx
+            .params
+            .adopt_probability(ctx.rewards[considered as usize]);
+        if self.rngs[local].gen_bool(adopt_p) {
+            self.choices[local] = considered;
+            self.counts[considered as usize] += 1;
+            self.rm.committed += 1;
+        }
+    }
+
+    /// Quiesced query attempt (or µ-exploration on attempt 1, or the
+    /// uniform fallback once the retry budget is spent).
+    fn start_attempt_q(&mut self, local: usize, attempt: u32, now: u64, ctx: &Ctx<'_>) {
+        let node = self.base + local as u32;
+        if attempt == 1 && self.rngs[local].gen_bool(ctx.mu) {
+            self.rm.explorations += 1;
+            let considered = self.rngs[local].gen_range(0..ctx.m) as u32;
+            self.decide_q(local, considered, ctx);
+            return;
+        }
+        if attempt > MAX_QUERY_RETRIES || ctx.n == 1 {
+            self.rm.fallbacks += 1;
+            let considered = self.rngs[local].gen_range(0..ctx.m) as u32;
+            self.decide_q(local, considered, ctx);
+            return;
+        }
+        self.pending[local].attempt = attempt;
+        self.rm.queries_sent += 1;
+        let g = node as usize;
+        let mut peer = self.rngs[local].gen_range(0..ctx.n - 1);
+        if peer >= g {
+            peer += 1;
+        }
+        self.push_from(
+            node,
+            now + RETRY_TIMEOUT,
+            Event::Timeout {
+                node,
+                attempt,
+                epoch: 0,
+            },
+            ctx,
+        );
+        if !self.link_drops(local, ctx) {
+            let at = now + self.latency(local);
+            self.push_from(
+                node,
+                at,
+                Event::QueryArrive {
+                    from: node,
+                    to: peer as u32,
+                    epoch: 0,
+                },
+                ctx,
+            );
+        }
+    }
+
+    /// Quiesced inbox head processing.
+    fn deliver_q(&mut self, local: usize, now: u64, ctx: &Ctx<'_>) {
+        let Some(msg) = self.inboxes[local].pop_front() else {
+            return;
+        };
+        match msg {
+            Msg::Query { from, epoch: _ } => {
+                let option = self.back[local];
+                if option != NO_CHOICE && !self.link_drops(local, ctx) {
+                    let at = now + self.latency(local);
+                    let node = self.base + local as u32;
+                    self.push_from(node, at, Event::ReplyArrive { node: from, option }, ctx);
+                }
+            }
+            Msg::Reply { option } => {
+                if self.pending[local].resolved {
+                    return;
+                }
+                self.rm.replies_received += 1;
+                self.decide_q(local, option, ctx);
+            }
+        }
+    }
+
+    /// Resets the lane for a fresh quiesced epoch and wakes its alive
+    /// nodes at per-node jittered times.
+    fn begin_epoch(&mut self, ctx: &Ctx<'_>) {
+        std::mem::swap(&mut self.choices, &mut self.back);
+        self.counts.fill(0);
+        self.rm = RoundMetrics::default();
+        debug_assert!(self.calendar.is_empty(), "previous epoch left events");
+        for local in 0..self.len() {
+            self.choices[local] = NO_CHOICE;
+            debug_assert!(self.inboxes[local].is_empty(), "previous epoch left mail");
+            let node = self.base + local as u32;
+            if ctx.crashes.alive_in(node as usize, ctx.t) {
+                self.rm.alive += 1;
+                self.pending[local] = Pending::default();
+                let at = self.rngs[local].gen_range(0..WAKE_SPREAD);
+                self.push_from(node, at, Event::Wake { node }, ctx);
+            } else {
+                self.pending[local] = Pending {
+                    attempt: 0,
+                    resolved: true,
+                };
+            }
+        }
+    }
+
+    /// Handles one due quiesced-mode event.
+    fn handle_q(&mut self, entry: Entry<Event>, now: u64, ctx: &Ctx<'_>) {
+        match entry.payload {
+            Event::Wake { node } => {
+                self.start_attempt_q((node - self.base) as usize, 1, now, ctx);
+            }
+            Event::QueryArrive { from, to, epoch } => {
+                if !ctx.has_crashes || ctx.crashes.alive_in(to as usize, ctx.t) {
+                    self.enqueue(
+                        (to - self.base) as usize,
+                        Msg::Query { from, epoch },
+                        now,
+                        ctx,
+                    );
+                }
+            }
+            Event::ReplyArrive { node, option } => {
+                self.enqueue((node - self.base) as usize, Msg::Reply { option }, now, ctx);
+            }
+            Event::Deliver { node } => self.deliver_q((node - self.base) as usize, now, ctx),
+            Event::Timeout {
+                node,
+                attempt,
+                epoch: _,
+            } => {
+                let local = (node - self.base) as usize;
+                let p = self.pending[local];
+                if !p.resolved && p.attempt == attempt {
+                    self.start_attempt_q(local, attempt + 1, now, ctx);
+                }
+            }
+        }
+    }
+
+    // ---- fully-async protocol, mirrored from the single-heap async
+    // ---- path: local epoch counters, epoch-tagged queries/timeouts,
+    // ---- staleness filtering, cadence-scheduled wake-ups.
+
+    /// Async stage 2 + local-epoch completion + next wake-up.
+    fn decide_async(&mut self, local: usize, considered: u32, now: u64, ctx: &Ctx<'_>) {
+        debug_assert!(!self.pending[local].resolved, "node resolved twice");
+        self.pending[local].resolved = true;
+        let adopt_p = ctx
+            .params
+            .adopt_probability(ctx.rewards[considered as usize]);
+        self.back[local] = self.choices[local];
+        if self.rngs[local].gen_bool(adopt_p) {
+            self.set_commit(local, considered);
+            self.rm.committed += 1;
+        } else {
+            self.set_commit(local, NO_CHOICE);
+        }
+        self.epochs[local] += 1;
+        let cadence = self.last_wake[local] + ASYNC_EPOCH_PERIOD;
+        let at = cadence.max(now + 1) + self.rngs[local].gen_range(0..ASYNC_WAKE_JITTER);
+        let node = self.base + local as u32;
+        self.push_from(node, at, Event::Wake { node }, ctx);
+    }
+
+    /// Async query attempt with epoch-tagged timeout/query events.
+    fn start_attempt_async(&mut self, local: usize, attempt: u32, now: u64, ctx: &Ctx<'_>) {
+        let node = self.base + local as u32;
+        if attempt == 1 && self.rngs[local].gen_bool(ctx.mu) {
+            self.rm.explorations += 1;
+            let considered = self.rngs[local].gen_range(0..ctx.m) as u32;
+            self.decide_async(local, considered, now, ctx);
+            return;
+        }
+        if attempt > MAX_QUERY_RETRIES || ctx.n == 1 {
+            self.rm.fallbacks += 1;
+            let considered = self.rngs[local].gen_range(0..ctx.m) as u32;
+            self.decide_async(local, considered, now, ctx);
+            return;
+        }
+        self.pending[local].attempt = attempt;
+        self.rm.queries_sent += 1;
+        let g = node as usize;
+        let mut peer = self.rngs[local].gen_range(0..ctx.n - 1);
+        if peer >= g {
+            peer += 1;
+        }
+        let epoch = self.epochs[local] + 1;
+        self.push_from(
+            node,
+            now + RETRY_TIMEOUT,
+            Event::Timeout {
+                node,
+                attempt,
+                epoch,
+            },
+            ctx,
+        );
+        if !self.link_drops(local, ctx) {
+            let at = now + self.latency(local);
+            self.push_from(
+                node,
+                at,
+                Event::QueryArrive {
+                    from: node,
+                    to: peer as u32,
+                    epoch,
+                },
+                ctx,
+            );
+        }
+    }
+
+    /// Async inbox head processing with responder-side staleness
+    /// filtering.
+    fn deliver_async(&mut self, local: usize, now: u64, ctx: &Ctx<'_>, bound: StalenessBound) {
+        let Some(msg) = self.inboxes[local].pop_front() else {
+            return;
+        };
+        match msg {
+            Msg::Query { from, epoch } => {
+                let want = epoch.saturating_sub(1);
+                let r = self.epochs[local];
+                let (option, stale) = if want >= r {
+                    (self.choices[local], want - r)
+                } else {
+                    (self.back[local], 0)
+                };
+                if option == NO_CHOICE {
+                    return;
+                }
+                if !bound.allows(stale) {
+                    self.rm.stale_replies += 1;
+                    return;
+                }
+                if !self.link_drops(local, ctx) {
+                    let at = now + self.latency(local);
+                    let node = self.base + local as u32;
+                    self.push_from(node, at, Event::ReplyArrive { node: from, option }, ctx);
+                }
+            }
+            Msg::Reply { option } => {
+                if self.pending[local].resolved {
+                    return;
+                }
+                self.rm.replies_received += 1;
+                self.decide_async(local, option, now, ctx);
+            }
+        }
+    }
+
+    /// Handles one due fully-async event.
+    fn handle_async(
+        &mut self,
+        entry: Entry<Event>,
+        now: u64,
+        ctx: &Ctx<'_>,
+        bound: StalenessBound,
+    ) {
+        match entry.payload {
+            Event::Wake { node } => {
+                let local = (node - self.base) as usize;
+                if ctx.crashes.alive_in(node as usize, ctx.t) {
+                    self.pending[local] = Pending::default();
+                    self.last_wake[local] = now;
+                    self.start_attempt_async(local, 1, now, ctx);
+                }
+            }
+            Event::QueryArrive { from, to, epoch } => {
+                if ctx.crashes.alive_in(to as usize, ctx.t) {
+                    self.enqueue(
+                        (to - self.base) as usize,
+                        Msg::Query { from, epoch },
+                        now,
+                        ctx,
+                    );
+                }
+            }
+            Event::ReplyArrive { node, option } => {
+                if ctx.crashes.alive_in(node as usize, ctx.t) {
+                    self.enqueue((node - self.base) as usize, Msg::Reply { option }, now, ctx);
+                }
+            }
+            Event::Deliver { node } => {
+                let local = (node - self.base) as usize;
+                if ctx.crashes.alive_in(node as usize, ctx.t) {
+                    self.deliver_async(local, now, ctx, bound);
+                } else {
+                    // Keep deliveries 1:1 with enqueues even for the
+                    // dead.
+                    self.inboxes[local].pop_front();
+                }
+            }
+            Event::Timeout {
+                node,
+                attempt,
+                epoch,
+            } => {
+                let local = (node - self.base) as usize;
+                if ctx.crashes.alive_in(node as usize, ctx.t) {
+                    let p = self.pending[local];
+                    if !p.resolved && p.attempt == attempt && self.epochs[local] + 1 == epoch {
+                        self.start_attempt_async(local, attempt + 1, now, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes every event due at `now`, in `(src, seq)` order.
+    fn run_window(&mut self, now: u64, ctx: &Ctx<'_>) {
+        let due = self.calendar.take_due(now);
+        match ctx.mode {
+            Mode::Quiesced => {
+                for &entry in &due {
+                    self.handle_q(entry, now, ctx);
+                }
+            }
+            Mode::Async(bound) => {
+                for &entry in &due {
+                    self.handle_async(entry, now, ctx, bound);
+                }
+            }
+        }
+        self.calendar.recycle(due);
+    }
+}
+
+/// The sharded calendar-queue engine behind
+/// [`SchedulerKind::ShardedCalendar`]. Owned by the
+/// [`EventRuntime`](crate::EventRuntime), which routes ticks here when
+/// the sharded scheduler is selected.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardedEngine {
+    /// The balanced node→shard partition.
+    map: ShardMap,
+    lanes: Vec<ShardLane>,
+    /// Virtual time already consumed by async ticks.
+    async_clock: u64,
+}
+
+impl ShardedEngine {
+    /// Builds the engine: exactly `min(shards, n)` lanes over balanced
+    /// contiguous node ranges (sizes differ by at most one node), with
+    /// one RNG stream per node split from `seed`.
+    pub(crate) fn new(cfg: &DistConfig, seed: u64, shards: usize) -> Self {
+        let n = cfg.num_nodes();
+        let m = cfg.params().num_options();
+        let map = ShardMap::new(n, shards);
+        let lane_count = map.lanes(n);
+        debug_assert_eq!(lane_count, shards.clamp(1, n));
+        let lanes = (0..lane_count)
+            .map(|index| {
+                let base = map.base_of(index);
+                let len = map.base_of(index + 1).min(n) - base;
+                let mut counts = vec![0u64; m];
+                let choices: Vec<NodeState> = (base..base + len)
+                    .map(|i| {
+                        let c = crate::uniform_start_choice(i, m);
+                        counts[c as usize] += 1;
+                        c
+                    })
+                    .collect();
+                ShardLane {
+                    index,
+                    base: base as u32,
+                    choices,
+                    back: vec![NO_CHOICE; len],
+                    epochs: vec![0; len],
+                    last_wake: vec![0; len],
+                    pending: vec![Pending::default(); len],
+                    inboxes: (0..len).map(|_| VecDeque::new()).collect(),
+                    rngs: (0..len)
+                        .map(|local| SmallRng::seed_from_u64(node_stream_seed(seed, base + local)))
+                        .collect(),
+                    seqs: vec![0; len],
+                    counts,
+                    calendar: Calendar::new(),
+                    outboxes: (0..lane_count).map(|_| Vec::new()).collect(),
+                    rm: RoundMetrics::default(),
+                    max_queue_depth: 0,
+                }
+            })
+            .collect();
+        ShardedEngine {
+            map,
+            lanes,
+            async_clock: 0,
+        }
+    }
+
+    /// The effective shard count (after clamping to the fleet size).
+    pub(crate) fn num_shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `node`'s completed local epoch counter.
+    pub(crate) fn epoch_of(&self, node: usize) -> u64 {
+        let lane = &self.lanes[self.map.shard_of(node)];
+        lane.epochs[node - lane.base as usize]
+    }
+
+    /// Max-minus-min completed local epoch over alive nodes.
+    pub(crate) fn epoch_spread(&self, crashes: &CrashTracker, t: u64) -> u64 {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut any = false;
+        for lane in &self.lanes {
+            for (local, &e) in lane.epochs.iter().enumerate() {
+                if crashes.alive_in(lane.base as usize + local, t.max(1)) {
+                    any = true;
+                    lo = lo.min(e);
+                    hi = hi.max(e);
+                }
+            }
+        }
+        if any {
+            hi - lo
+        } else {
+            0
+        }
+    }
+
+    /// Sums the per-lane commitment counts into `out`.
+    pub(crate) fn write_counts(&self, out: &mut [u64]) {
+        out.fill(0);
+        for lane in &self.lanes {
+            for (slot, &c) in out.iter_mut().zip(&lane.counts) {
+                *slot += c;
+            }
+        }
+    }
+
+    /// The deepest any inbox has ever been.
+    pub(crate) fn max_queue_depth(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.max_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The earliest pending virtual time at or after `from`, across
+    /// all lanes.
+    fn next_window(&self, from: u64) -> Option<u64> {
+        self.lanes
+            .iter()
+            .filter_map(|lane| lane.calendar.next_time(from))
+            .min()
+    }
+
+    /// Runs one time window on every lane — on the thread pool when
+    /// dense, in-thread when sparse (identical results either way) —
+    /// then drains the cross-shard mailboxes into the destination
+    /// calendars.
+    fn run_window(&mut self, now: u64, ctx: &Ctx<'_>) {
+        let due: usize = self.lanes.iter().map(|l| l.calendar.due_len(now)).sum();
+        if due == 0 {
+            return;
+        }
+        if self.lanes.len() > 1 && due >= PARALLEL_WINDOW_EVENTS {
+            let lanes = std::mem::take(&mut self.lanes);
+            self.lanes = parallel_map(lanes, |mut lane| {
+                lane.run_window(now, ctx);
+                lane
+            });
+        } else {
+            for lane in &mut self.lanes {
+                lane.run_window(now, ctx);
+            }
+        }
+        // Window boundary: hand cross-shard events over. Bucket order
+        // does not matter — `take_due` re-sorts by `(src, seq)` — so
+        // the drain order is free to be whatever is cheapest.
+        for src in 0..self.lanes.len() {
+            for dst in 0..self.lanes.len() {
+                if src == dst || self.lanes[src].outboxes[dst].is_empty() {
+                    continue;
+                }
+                let mut moved = std::mem::take(&mut self.lanes[src].outboxes[dst]);
+                for entry in moved.drain(..) {
+                    self.lanes[dst].calendar.push(entry);
+                }
+                self.lanes[src].outboxes[dst] = moved;
+            }
+        }
+    }
+
+    /// Sums the lanes' per-tick counters into one report.
+    fn collect_rm(&self, t: u64) -> RoundMetrics {
+        let mut rm = RoundMetrics {
+            round: t,
+            ..RoundMetrics::default()
+        };
+        for lane in &self.lanes {
+            rm.alive += lane.rm.alive;
+            rm.committed += lane.rm.committed;
+            rm.queries_sent += lane.rm.queries_sent;
+            rm.replies_received += lane.rm.replies_received;
+            rm.fallbacks += lane.rm.fallbacks;
+            rm.explorations += lane.rm.explorations;
+            rm.queue_drops += lane.rm.queue_drops;
+            rm.stale_replies += lane.rm.stale_replies;
+        }
+        rm
+    }
+
+    /// One tick under `mode`: a full epoch run to quiescence, or one
+    /// async epoch-period window of virtual time.
+    pub(crate) fn tick(
+        &mut self,
+        mode: Mode,
+        cfg: &DistConfig,
+        queue_bound: usize,
+        crashes: &CrashTracker,
+        t: u64,
+        rewards: &[bool],
+    ) -> RoundMetrics {
+        let ctx = Ctx {
+            params: *cfg.params(),
+            mode,
+            n: cfg.num_nodes(),
+            m: cfg.params().num_options(),
+            map: self.map,
+            mu: cfg.params().mu(),
+            drop_prob: cfg.faults().drop_prob(),
+            has_crashes: crashes.any_scheduled(),
+            queue_bound,
+            t,
+            rewards,
+            crashes,
+        };
+        match mode {
+            Mode::Quiesced => self.tick_quiesced(&ctx),
+            Mode::Async(_) => self.tick_async(&ctx),
+        }
+    }
+
+    /// One epoch run to quiescence: reset, wake, then drain every
+    /// window until no lane holds a pending event.
+    fn tick_quiesced(&mut self, ctx: &Ctx<'_>) -> RoundMetrics {
+        for lane in &mut self.lanes {
+            lane.begin_epoch(ctx);
+        }
+        let mut cursor = 0u64;
+        while let Some(w) = self.next_window(cursor) {
+            self.run_window(w, ctx);
+            cursor = w + 1;
+        }
+        debug_assert!(
+            self.lanes
+                .iter()
+                .all(|lane| lane.pending.iter().all(|p| p.resolved)),
+            "epoch ended with unresolved nodes"
+        );
+        let rm = self.collect_rm(ctx.t);
+        debug_assert_eq!(rm.alive, ctx.crashes.alive(), "alive counter drifted");
+        rm
+    }
+
+    /// One async tick: advance through one epoch-period window of
+    /// virtual time; in-flight events survive into the next tick.
+    fn tick_async(&mut self, ctx: &Ctx<'_>) -> RoundMetrics {
+        for lane in &mut self.lanes {
+            lane.rm = RoundMetrics::default();
+        }
+        // Newly-landed crashes leave the popularity counts; their
+        // pending events become inert.
+        if ctx.has_crashes {
+            for lane in &mut self.lanes {
+                for local in 0..lane.len() {
+                    if !ctx.crashes.alive_in(lane.base as usize + local, ctx.t)
+                        && lane.choices[local] != NO_CHOICE
+                    {
+                        lane.set_commit(local, NO_CHOICE);
+                    }
+                }
+            }
+        }
+        // The very first tick seeds every node's epoch loop.
+        if ctx.t == 1 {
+            for lane in &mut self.lanes {
+                for local in 0..lane.len() {
+                    let node = lane.base + local as u32;
+                    if ctx.crashes.alive_in(node as usize, ctx.t) {
+                        let at = lane.rngs[local].gen_range(0..WAKE_SPREAD);
+                        lane.push_from(node, at, Event::Wake { node }, ctx);
+                    }
+                }
+            }
+        }
+        let window_end = self.async_clock + ASYNC_EPOCH_PERIOD;
+        let mut cursor = self.async_clock;
+        while let Some(w) = self.next_window(cursor) {
+            if w >= window_end {
+                break;
+            }
+            self.run_window(w, ctx);
+            cursor = w + 1;
+        }
+        self.async_clock = window_end;
+        let mut rm = self.collect_rm(ctx.t);
+        rm.alive = ctx.crashes.alive();
+        rm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at: u64, src: u32, seq: u32) -> Entry<u32> {
+        Entry {
+            at,
+            src,
+            seq,
+            payload: src * 1000 + seq,
+        }
+    }
+
+    #[test]
+    fn calendar_pops_in_time_then_src_seq_order() {
+        let mut cal = Calendar::new();
+        cal.push(entry(5, 2, 0));
+        cal.push(entry(3, 9, 1));
+        cal.push(entry(5, 1, 7));
+        cal.push(entry(5, 2, 1));
+        assert_eq!(cal.len(), 4);
+        assert_eq!(cal.next_time(0), Some(3));
+        let due = cal.take_due(3);
+        assert_eq!(due.len(), 1);
+        cal.recycle(due);
+        assert_eq!(cal.next_time(4), Some(5));
+        let due = cal.take_due(5);
+        let keys: Vec<(u32, u32)> = due.iter().map(|e| (e.src, e.seq)).collect();
+        assert_eq!(keys, vec![(1, 7), (2, 0), (2, 1)]);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn calendar_take_due_on_empty_slot_is_empty() {
+        let mut cal = Calendar::<u32>::new();
+        cal.push(entry(10, 0, 0));
+        assert!(cal.take_due(9).is_empty());
+        assert_eq!(cal.due_len(9), 0);
+        assert_eq!(cal.due_len(10), 1);
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn calendar_ring_wraps_across_rotations() {
+        let mut cal = Calendar::<u32>::new();
+        // Three full rotations of pushes one slot ahead of the cursor.
+        for step in 0..(3 * RING_SLOTS as u64) {
+            cal.push(entry(step + 1, 0, step as u32));
+            let due = cal.take_due(step + 1);
+            assert_eq!(due.len(), 1, "step {step}");
+            assert_eq!(due[0].seq, step as u32);
+            cal.recycle(due);
+        }
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn node_stream_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..10_000).map(|i| node_stream_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 10_000);
+        assert_ne!(node_stream_seed(1, 0), node_stream_seed(2, 0));
+    }
+
+    #[test]
+    fn scheduler_kind_displays() {
+        assert_eq!(SchedulerKind::SingleHeap.to_string(), "single-heap");
+        assert_eq!(
+            SchedulerKind::ShardedCalendar { shards: 4 }.to_string(),
+            "sharded-calendar(4)"
+        );
+    }
+}

@@ -57,6 +57,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use sociolearn_core::GroupDynamics;
 
+use crate::calendar::{SchedulerKind, ShardedEngine};
 use crate::{
     CrashTracker, DistConfig, ExecutionModel, Metrics, NodeState, ProtocolRuntime, RoundMetrics,
     MAX_QUERY_RETRIES, NO_CHOICE,
@@ -73,17 +74,17 @@ pub const MAX_MESSAGE_LATENCY: u64 = 8;
 
 /// Ticks between a message landing in an inbox and the owner
 /// processing it.
-const DELIVER_DELAY: u64 = 1;
+pub(crate) const DELIVER_DELAY: u64 = 1;
 
 /// Window over which alive nodes' wake-ups are jittered at the start
 /// of an epoch.
-const WAKE_SPREAD: u64 = 32;
+pub(crate) const WAKE_SPREAD: u64 = 32;
 
 /// How long a querier waits for a reply before retrying. Strictly
 /// larger than the worst-case round trip
 /// (`2 · MAX_MESSAGE_LATENCY + 2 · DELIVER_DELAY`), so a reply that
 /// is actually in flight always wins over its timeout.
-const RETRY_TIMEOUT: u64 = 2 * MAX_MESSAGE_LATENCY + 2 * DELIVER_DELAY + 1;
+pub(crate) const RETRY_TIMEOUT: u64 = 2 * MAX_MESSAGE_LATENCY + 2 * DELIVER_DELAY + 1;
 
 /// Nominal scheduler ticks between consecutive local-epoch wake-ups of
 /// one node in fully-async mode. Long enough that an epoch resolved
@@ -96,7 +97,7 @@ const RETRY_TIMEOUT: u64 = 2 * MAX_MESSAGE_LATENCY + 2 * DELIVER_DELAY + 1;
 pub const ASYNC_EPOCH_PERIOD: u64 = 4 * RETRY_TIMEOUT;
 
 /// Jitter added to each async wake-up so node loops never phase-lock.
-const ASYNC_WAKE_JITTER: u64 = 4;
+pub(crate) const ASYNC_WAKE_JITTER: u64 = 4;
 
 /// How far behind the querier a responder's information may be before
 /// the responder withholds its reply in fully-async mode
@@ -142,18 +143,19 @@ impl std::fmt::Display for StalenessBound {
 
 /// Which epoch discipline the scheduler runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
+pub(crate) enum Mode {
     /// Every epoch runs to quiescence before the next begins.
     Quiesced,
     /// Overlapping local epochs filtered by a staleness bound.
     Async(StalenessBound),
 }
 
-/// A scheduler event. Node ids are `u32` to keep the heap entries
-/// small (the fleet bound of `u32::MAX` nodes is far beyond anything
-/// the simulations run).
+/// A scheduler event, shared by the single-heap scheduler and the
+/// sharded calendar engine. Node ids are `u32` to keep the heap
+/// entries small (the fleet bound of `u32::MAX` nodes is far beyond
+/// anything the simulations run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+pub(crate) enum Event {
     /// An alive node starts stage 1 of the protocol.
     Wake { node: u32 },
     /// A query from `from` reaches `to`'s inbox (link loss already
@@ -197,7 +199,7 @@ impl PartialOrd for Scheduled {
 
 /// A message sitting in a node's inbox.
 #[derive(Debug, Clone, Copy)]
-enum Msg {
+pub(crate) enum Msg {
     /// "What option did you use last epoch?" — tagged with the
     /// querier's local epoch at send time (the async staleness
     /// reference; quiesced mode ignores it).
@@ -210,12 +212,12 @@ enum Msg {
 /// scheduler state, not protocol state: the node's *protocol* memory
 /// is still just its committed option ([`crate::NODE_STATE_BYTES`]).
 #[derive(Debug, Clone, Copy, Default)]
-struct Pending {
+pub(crate) struct Pending {
     /// The outstanding query attempt (0 = none issued yet).
-    attempt: u32,
+    pub(crate) attempt: u32,
     /// Whether stage 1 has resolved this epoch (copied, explored, or
     /// fell back) — late replies and stale timeouts are ignored.
-    resolved: bool,
+    pub(crate) resolved: bool,
 }
 
 /// The event-driven message-passing runtime: `N` nodes of
@@ -254,6 +256,13 @@ pub struct EventRuntime {
     cfg: DistConfig,
     queue_bound: usize,
     mode: Mode,
+    /// The root seed, kept so [`with_scheduler`](EventRuntime::with_scheduler)
+    /// can split per-node streams for the sharded engine.
+    seed: u64,
+    /// The sharded calendar engine, when
+    /// [`SchedulerKind::ShardedCalendar`] is selected; `None` runs the
+    /// original single-heap scheduler below.
+    sharded: Option<Box<ShardedEngine>>,
     rng: SmallRng,
     /// This epoch's committed option per node — the fleet's protocol
     /// state, double-buffered with `back` in quiesced mode. In async
@@ -307,7 +316,7 @@ impl EventRuntime {
     pub fn new(cfg: DistConfig, seed: u64) -> Self {
         let m = cfg.params().num_options();
         let n = cfg.num_nodes();
-        let choices: Vec<NodeState> = (0..n).map(|i| (i % m) as NodeState).collect();
+        let choices: Vec<NodeState> = (0..n).map(|i| crate::uniform_start_choice(i, m)).collect();
         let mut counts = vec![0u64; m];
         for &c in &choices {
             counts[c as usize] += 1;
@@ -316,6 +325,8 @@ impl EventRuntime {
         EventRuntime {
             queue_bound: DEFAULT_QUEUE_BOUND,
             mode: Mode::Quiesced,
+            seed,
+            sharded: None,
             rng: SmallRng::seed_from_u64(seed),
             choices,
             back: vec![NO_CHOICE; n],
@@ -358,6 +369,71 @@ impl EventRuntime {
         );
         self.mode = Mode::Async(bound);
         self
+    }
+
+    /// Selects the scheduler that executes the event streams:
+    /// [`SchedulerKind::SingleHeap`] (the default — one global
+    /// `BinaryHeap` and one RNG stream) or
+    /// [`SchedulerKind::ShardedCalendar`] (per-node-range shards over
+    /// calendar queues with per-node RNG streams split from the root
+    /// seed; byte-identical results for any shard count, same law as
+    /// the single heap). Composes with
+    /// [`with_async_epochs`](EventRuntime::with_async_epochs) and
+    /// [`with_queue_bound`](EventRuntime::with_queue_bound) in any
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has already executed a tick, or if a
+    /// sharded scheduler is requested with zero shards.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        assert_eq!(
+            self.round, 0,
+            "scheduler must be chosen before the first tick"
+        );
+        let n = self.cfg.num_nodes();
+        let m = self.cfg.params().num_options();
+        self.sharded = match kind {
+            SchedulerKind::SingleHeap => {
+                // Rebuild the (round-0) single-heap per-node state in
+                // case a sharded engine shrank it away below.
+                self.choices = (0..n).map(|i| crate::uniform_start_choice(i, m)).collect();
+                self.back = vec![NO_CHOICE; n];
+                self.epochs = vec![0; n];
+                self.last_wake = vec![0; n];
+                self.pending = vec![Pending::default(); n];
+                self.inboxes = (0..n).map(|_| VecDeque::new()).collect();
+                None
+            }
+            SchedulerKind::ShardedCalendar { shards } => {
+                assert!(shards > 0, "shard count must be at least 1");
+                // The engine owns all per-node state; free the
+                // single-heap copies so fleet-scale deployments don't
+                // carry both (`counts` stays — it is the cache every
+                // accessor reads, synced from the engine each tick).
+                self.choices = Vec::new();
+                self.back = Vec::new();
+                self.epochs = Vec::new();
+                self.last_wake = Vec::new();
+                self.pending = Vec::new();
+                self.inboxes = Vec::new();
+                self.heap = BinaryHeap::new();
+                Some(Box::new(ShardedEngine::new(&self.cfg, self.seed, shards)))
+            }
+        };
+        self
+    }
+
+    /// The scheduler executing this runtime. For sharded schedulers
+    /// the reported shard count is the effective one (clamped to the
+    /// fleet size).
+    pub fn scheduler(&self) -> SchedulerKind {
+        match &self.sharded {
+            None => SchedulerKind::SingleHeap,
+            Some(engine) => SchedulerKind::ShardedCalendar {
+                shards: engine.num_shards(),
+            },
+        }
     }
 
     /// Replaces the per-node inbox capacity (default
@@ -438,9 +514,10 @@ impl EventRuntime {
     /// Panics if `node >= num_nodes()`.
     pub fn local_epoch(&self, node: usize) -> u64 {
         assert!(node < self.cfg.num_nodes(), "node out of range");
-        match self.mode {
-            Mode::Quiesced => self.round,
-            Mode::Async(_) => self.epochs[node],
+        match (self.mode, &self.sharded) {
+            (Mode::Quiesced, _) => self.round,
+            (Mode::Async(_), None) => self.epochs[node],
+            (Mode::Async(_), Some(engine)) => engine.epoch_of(node),
         }
     }
 
@@ -452,6 +529,9 @@ impl EventRuntime {
             return 0;
         }
         let t = self.round;
+        if let Some(engine) = &self.sharded {
+            return engine.epoch_spread(&self.crashes, t);
+        }
         let mut lo = u64::MAX;
         let mut hi = 0u64;
         let mut any = false;
@@ -632,10 +712,35 @@ impl EventRuntime {
             self.cfg.params().num_options(),
             "rewards length must equal the number of options"
         );
+        if self.sharded.is_some() {
+            return self.tick_sharded(rewards);
+        }
         match self.mode {
             Mode::Quiesced => self.tick_quiesced(rewards),
             Mode::Async(bound) => self.tick_async(rewards, bound),
         }
+    }
+
+    /// One tick routed through the sharded calendar engine. The
+    /// engine owns the per-node state; this wrapper keeps the
+    /// runtime-level clocks, counters, and count cache in sync.
+    fn tick_sharded(&mut self, rewards: &[bool]) -> RoundMetrics {
+        self.round += 1;
+        let t = self.round;
+        let engine = self.sharded.as_mut().expect("sharded scheduler selected");
+        let rm = engine.tick(
+            self.mode,
+            &self.cfg,
+            self.queue_bound,
+            &self.crashes,
+            t,
+            rewards,
+        );
+        engine.write_counts(&mut self.counts);
+        self.max_queue_depth = self.max_queue_depth.max(engine.max_queue_depth());
+        self.crashes.advance_to(t + 1);
+        self.metrics.absorb(&rm);
+        rm
     }
 
     /// One epoch run to quiescence (the default mode).
@@ -1374,6 +1479,256 @@ mod tests {
         assert!(!StalenessBound::Epochs(2).allows(3));
         assert_eq!(StalenessBound::Unbounded.to_string(), "unbounded");
         assert_eq!(StalenessBound::Epochs(4).to_string(), "4");
+    }
+
+    /// Drives one runtime config under every scheduler/shard-count in
+    /// `kinds`, returning (per-tick distributions, per-tick round
+    /// metrics, final cumulative metrics) per kind.
+    #[allow(clippy::type_complexity)]
+    fn drive_kinds(
+        make: impl Fn() -> EventRuntime,
+        kinds: &[SchedulerKind],
+        ticks: u64,
+    ) -> Vec<(Vec<Vec<f64>>, Vec<RoundMetrics>, Metrics)> {
+        kinds
+            .iter()
+            .map(|&kind| {
+                let mut net = make().with_scheduler(kind);
+                let mut dists = Vec::new();
+                let mut rms = Vec::new();
+                for t in 0..ticks {
+                    rms.push(net.tick(&[t % 2 == 0, t % 3 == 0]));
+                    dists.push(net.distribution());
+                }
+                (dists, rms, EventRuntime::metrics(&net))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_results_are_byte_identical_across_shard_counts() {
+        let kinds = [
+            SchedulerKind::ShardedCalendar { shards: 1 },
+            SchedulerKind::ShardedCalendar { shards: 2 },
+            SchedulerKind::ShardedCalendar { shards: 4 },
+            SchedulerKind::ShardedCalendar { shards: 7 },
+        ];
+        let faults = FaultPlan::with_drop_prob(0.3)
+            .unwrap()
+            .crash(5, 9)
+            .crash(24, 9);
+        let make = || {
+            EventRuntime::new(
+                DistConfig::new(params(), 50).with_faults(faults.clone()),
+                11,
+            )
+        };
+        let runs = drive_kinds(make, &kinds, 30);
+        for run in &runs[1..] {
+            assert_eq!(
+                runs[0].0, run.0,
+                "distributions diverged across shard counts"
+            );
+            assert_eq!(
+                runs[0].1, run.1,
+                "round metrics diverged across shard counts"
+            );
+            assert_eq!(runs[0].2, run.2, "metrics diverged across shard counts");
+        }
+    }
+
+    #[test]
+    fn sharded_async_results_are_byte_identical_across_shard_counts() {
+        let kinds = [
+            SchedulerKind::ShardedCalendar { shards: 1 },
+            SchedulerKind::ShardedCalendar { shards: 2 },
+            SchedulerKind::ShardedCalendar { shards: 4 },
+        ];
+        let faults = FaultPlan::with_drop_prob(0.4).unwrap().crash(3, 10);
+        let make = || {
+            EventRuntime::new(
+                DistConfig::new(params(), 48).with_faults(faults.clone()),
+                13,
+            )
+            .with_async_epochs(StalenessBound::Epochs(1))
+        };
+        let runs = drive_kinds(make, &kinds, 40);
+        for run in &runs[1..] {
+            assert_eq!(
+                runs[0].0, run.0,
+                "distributions diverged across shard counts"
+            );
+            assert_eq!(
+                runs[0].1, run.1,
+                "round metrics diverged across shard counts"
+            );
+            assert_eq!(runs[0].2, run.2, "metrics diverged across shard counts");
+        }
+    }
+
+    #[test]
+    fn sharded_clean_network_converges_to_best_option() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 500), 2)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 4 });
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let rewards = [rng.gen_bool(0.9), rng.gen_bool(0.3)];
+            net.tick(&rewards);
+        }
+        assert!(
+            net.distribution()[0] > 0.8,
+            "share {}",
+            net.distribution()[0]
+        );
+    }
+
+    #[test]
+    fn sharded_async_clean_network_converges_to_best_option() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 500), 2)
+            .with_async_epochs(StalenessBound::Unbounded)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 4 });
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let rewards = [rng.gen_bool(0.9), rng.gen_bool(0.3)];
+            net.tick(&rewards);
+        }
+        assert!(
+            net.distribution()[0] > 0.8,
+            "share {}",
+            net.distribution()[0]
+        );
+    }
+
+    #[test]
+    fn sharded_epoch_metrics_are_internally_consistent() {
+        let faults = FaultPlan::with_drop_prob(0.3).unwrap();
+        let mut net = EventRuntime::new(DistConfig::new(params(), 64).with_faults(faults), 4)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 4 });
+        for _ in 0..50 {
+            let rm = net.tick(&[true, false]);
+            assert!(rm.committed <= rm.alive);
+            assert!(rm.alive <= 64);
+            assert!(rm.replies_received <= rm.queries_sent);
+            let handled = rm.explorations + rm.fallbacks + rm.replies_received;
+            assert!(
+                handled >= rm.alive as u64,
+                "every alive node resolves stage 1"
+            );
+        }
+        assert!(net.max_queue_depth() <= net.queue_bound());
+        let m = EventRuntime::metrics(&net);
+        assert_eq!(m.rounds, 50);
+        assert!(m.messages_per_round() > 0.0);
+    }
+
+    #[test]
+    fn sharded_scheduler_reports_effective_shard_count() {
+        let net = EventRuntime::new(DistConfig::new(params(), 4), 1);
+        assert_eq!(net.scheduler(), SchedulerKind::SingleHeap);
+        let sharded = net.with_scheduler(SchedulerKind::ShardedCalendar { shards: 2 });
+        assert_eq!(
+            sharded.scheduler(),
+            SchedulerKind::ShardedCalendar { shards: 2 }
+        );
+        // Shard counts beyond the fleet size clamp to one node/shard.
+        let tiny = EventRuntime::new(DistConfig::new(params(), 3), 1)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 16 });
+        assert_eq!(
+            tiny.scheduler(),
+            SchedulerKind::ShardedCalendar { shards: 3 }
+        );
+        // An awkward split (9 nodes, 8 shards) still yields exactly 8
+        // lanes — the partition balances range sizes instead of
+        // rounding the lane count down.
+        let mut awkward = EventRuntime::new(DistConfig::new(params(), 9), 1)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 8 });
+        assert_eq!(
+            awkward.scheduler(),
+            SchedulerKind::ShardedCalendar { shards: 8 }
+        );
+        let rm = awkward.tick(&[true, false]);
+        assert_eq!(rm.alive, 9);
+        // Selecting the single heap again is a no-op round trip.
+        let back = tiny.with_scheduler(SchedulerKind::SingleHeap);
+        assert_eq!(back.scheduler(), SchedulerKind::SingleHeap);
+    }
+
+    #[test]
+    fn sharded_local_epochs_and_spread_are_tracked() {
+        let faults = FaultPlan::with_drop_prob(0.5).unwrap();
+        let mut net = EventRuntime::new(DistConfig::new(params(), 200).with_faults(faults), 5)
+            .with_async_epochs(StalenessBound::Unbounded)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 4 });
+        let mut max_spread = 0;
+        for t in 1..=60u64 {
+            net.tick(&[true, false]);
+            max_spread = max_spread.max(net.epoch_spread());
+            for i in [0usize, 99, 199] {
+                assert!(net.local_epoch(i) <= t + 2, "node {i} outran its cadence");
+            }
+        }
+        assert!(max_spread > 0, "epochs never overlapped");
+    }
+
+    #[test]
+    fn sharded_single_node_fleet_never_queries() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 1), 7)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 4 });
+        for _ in 0..30 {
+            net.tick(&[true, false]);
+        }
+        assert_eq!(EventRuntime::metrics(&net).queries_sent, 0);
+        let m = EventRuntime::metrics(&net);
+        assert!(m.explorations + m.fallbacks > 0);
+    }
+
+    #[test]
+    fn sharded_deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let faults = FaultPlan::with_drop_prob(0.4).unwrap().crash(3, 10);
+            let mut net =
+                EventRuntime::new(DistConfig::new(params(), 50).with_faults(faults), seed)
+                    .with_scheduler(SchedulerKind::ShardedCalendar { shards: 4 });
+            let mut out = Vec::new();
+            for t in 0..40 {
+                net.tick(&[t % 2 == 0, t % 3 == 0]);
+                out.push(net.distribution());
+            }
+            (out, EventRuntime::metrics(&net))
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn sharded_tiny_queue_bound_is_respected_under_load() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 128), 9)
+            .with_queue_bound(1)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 4 });
+        for _ in 0..30 {
+            net.tick(&[true, false]);
+        }
+        assert!(net.max_queue_depth() <= 1);
+        assert!(
+            EventRuntime::metrics(&net).queue_drops > 0,
+            "bound 1 never overflowed"
+        );
+        assert!(net.distribution()[0] > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be at least 1")]
+    fn zero_shards_rejected() {
+        let _ = EventRuntime::new(DistConfig::new(params(), 4), 1)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first tick")]
+    fn scheduler_switch_after_first_tick_rejected() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 4), 1);
+        net.tick(&[true, false]);
+        let _ = net.with_scheduler(SchedulerKind::ShardedCalendar { shards: 2 });
     }
 
     #[test]

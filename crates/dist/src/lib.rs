@@ -60,6 +60,15 @@
 //!   study convergence under staleness à la Su–Zubeldia–Lynch
 //!   (arXiv:1802.08159).
 //!
+//! Orthogonally to the execution model, the event-driven runtime can
+//! run on either of two **schedulers**
+//! ([`EventRuntime::with_scheduler`]): the default
+//! [`SchedulerKind::SingleHeap`] (one global `BinaryHeap`), or the
+//! [`SchedulerKind::ShardedCalendar`] engine — per-node-range shards
+//! over O(1) [`Calendar`] queues with per-node RNG streams, built for
+//! fleet scale. The two schedulers agree in law, and the sharded
+//! engine's results are byte-identical across shard counts.
+//!
 //! # Example
 //!
 //! ```
@@ -80,8 +89,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod event;
 
+pub use calendar::{Calendar, Entry, SchedulerKind, RING_SLOTS};
 pub use event::{
     EventRuntime, StalenessBound, ASYNC_EPOCH_PERIOD, DEFAULT_QUEUE_BOUND, MAX_MESSAGE_LATENCY,
 };
@@ -105,6 +116,14 @@ pub(crate) const NO_CHOICE: NodeState = u32::MAX;
 
 /// Bytes of protocol state per node (the current option only).
 pub const NODE_STATE_BYTES: usize = std::mem::size_of::<NodeState>();
+
+/// The uniform fleet initialization shared by every runtime and
+/// scheduler: node `i` starts committed to option `i mod m`, matching
+/// the in-memory dynamics. Kept in one place so the runtimes cannot
+/// drift apart on their round-0 state.
+pub(crate) fn uniform_start_choice(node: usize, m: usize) -> NodeState {
+    (node % m) as NodeState
+}
 
 // The O(1)-memory claim, enforced at compile time: a node's protocol
 // state must stay a handful of bytes (no weight vector, no history).
@@ -451,7 +470,7 @@ impl Runtime {
     pub fn new(cfg: DistConfig, seed: u64) -> Self {
         let m = cfg.params.num_options();
         let n = cfg.n;
-        let choices: Vec<NodeState> = (0..n).map(|i| (i % m) as NodeState).collect();
+        let choices: Vec<NodeState> = (0..n).map(|i| uniform_start_choice(i, m)).collect();
         let mut counts = vec![0u64; m];
         for &c in &choices {
             counts[c as usize] += 1;

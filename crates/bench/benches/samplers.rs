@@ -1,11 +1,62 @@
 //! Sampling-primitive microbenches: alias table vs CDF inversion for
-//! categorical draws, and exact binomial/multinomial costs — the
-//! primitives whose costs set the dynamics' step costs.
+//! categorical draws, exact binomial/multinomial costs, and the
+//! `FinitePopulation` step itself — the primitives whose costs set the
+//! dynamics' step costs.
+//!
+//! The binomial group carries a faithful reimplementation of the old
+//! vendored shim's waiting-time sampler at its worst point (n·q ≈
+//! 5000, just under the threshold where the old shim switched to a
+//! rounded normal) next to the exact BTPE path, so the O(n·q) → O(1)
+//! change is measured rather than asserted.
+//!
+//! Besides the console output, a run writes machine-readable results
+//! to `results/BENCH_samplers.json` at the workspace root (mean ns per
+//! draw/step; gitignored — the committed reference rows live in
+//! `results/BENCH_baseline.json`, which the `bench_gate` bin compares
+//! a fresh report against in CI). Set `BENCH_SAMPLERS_JSON` to
+//! redirect the report, or to `skip` to suppress it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use sociolearn_core::{sample_binomial, sample_categorical, sample_multinomial, AliasTable};
+use rand::{Rng, SeedableRng};
+use sociolearn_core::{
+    sample_binomial, sample_categorical, sample_multinomial, AliasTable, FinitePopulation,
+    GroupDynamics, Params,
+};
+
+/// The old shim's worst waiting-time point: n·q = 5000.4, one ulp
+/// below the cutoff where it silently switched to the rounded normal.
+const CUTOFF_N: u64 = 16_668;
+/// p for the cutoff rows.
+const CUTOFF_P: f64 = 0.3;
+
+/// The pre-BTPE vendored shim's "exact" path, reproduced faithfully:
+/// geometric waiting times, O(n·q) expected RNG draws per sample. This
+/// is the baseline the exact BTPE rows are measured against.
+fn waiting_time_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let (q, flipped) = if p <= 0.5 {
+        (p, false)
+    } else {
+        (1.0 - p, true)
+    };
+    let log_one_minus_q = (-q).ln_1p();
+    let mut successes = 0u64;
+    let mut trials = 0u64;
+    loop {
+        let u: f64 = rng.gen();
+        let gap = (u.ln() / log_one_minus_q).floor() as u64 + 1;
+        trials += gap;
+        if trials > n {
+            break;
+        }
+        successes += 1;
+    }
+    if flipped {
+        n - successes
+    } else {
+        successes
+    }
+}
 
 fn categorical(c: &mut Criterion) {
     let mut group = c.benchmark_group("categorical_draw");
@@ -32,6 +83,24 @@ fn binomial(c: &mut Criterion) {
             b.iter(|| sample_binomial(&mut rng, n, 0.3));
         });
     }
+    // Head-to-head at the old shim's cutoff: the waiting-time path it
+    // used below n·q = 5000 vs the exact BTPE path at the same point.
+    group.bench_with_input(
+        BenchmarkId::new("waiting_time_nq5000", CUTOFF_N),
+        &CUTOFF_N,
+        |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            b.iter(|| waiting_time_binomial(&mut rng, n, CUTOFF_P));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("exact_nq5000", CUTOFF_N),
+        &CUTOFF_N,
+        |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            b.iter(|| sample_binomial(&mut rng, n, CUTOFF_P));
+        },
+    );
     group.finish();
 }
 
@@ -48,5 +117,86 @@ fn multinomial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, categorical, binomial, multinomial);
-criterion_main!(benches);
+fn finite_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("finite_step");
+    // N = 1e6 is squarely inside the regime the old shim approximated;
+    // with exact BTPE the step is O(m) draws plus the SoA sweeps.
+    for &n in &[100_000usize, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = Params::with_all(4, 0.7, 0.3, 0.1).expect("valid params");
+            let mut pop = FinitePopulation::new(params, n);
+            let mut rng = SmallRng::seed_from_u64(6);
+            let mut t = 0u64;
+            b.iter(|| {
+                let rewards = [t.is_multiple_of(2), t.is_multiple_of(3), true, false];
+                pop.step(&rewards, &mut rng);
+                t += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The `(runtime, n)` rows `bench_gate` enforces (marked `"gated":
+/// true` in the report regardless of `n`; everything else is
+/// informational).
+const GATED: &[(&str, u64)] = &[
+    ("binomial_draw", 100_000),
+    ("binomial_draw", 100_000_000),
+    ("binomial_draw_exact_nq5000", CUTOFF_N),
+    ("finite_step", 100_000),
+    ("finite_step", 1_000_000),
+];
+
+/// Writes the JSON report the CI perf-tracking step consumes: one row
+/// per measurement, id `group/name/n` flattened to `group_name` + `n`.
+fn emit_json(measurements: &[(String, f64)]) -> std::io::Result<()> {
+    let path = match std::env::var("BENCH_SAMPLERS_JSON") {
+        Ok(s) if s == "skip" => return Ok(()),
+        Ok(s) => std::path::PathBuf::from(s),
+        Err(_) => {
+            let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            p.pop();
+            p.pop();
+            p.join("results").join("BENCH_samplers.json")
+        }
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut rows = Vec::new();
+    for (id, mean_ns) in measurements {
+        let Some((prefix, n)) = id.rsplit_once('/') else {
+            continue;
+        };
+        let runtime = prefix.replace('/', "_");
+        let gated = GATED
+            .iter()
+            .any(|&(r, gn)| r == runtime && n.parse() == Ok(gn));
+        let gated_field = if gated { ", \"gated\": true" } else { "" };
+        rows.push(format!(
+            "    {{ \"runtime\": \"{runtime}\", \"n\": {n}, \"ns_per_round\": {mean_ns:.1}{gated_field} }}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"samplers\",\n  \"unit\": \"ns_per_draw\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&path, json)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    categorical(&mut criterion);
+    binomial(&mut criterion);
+    multinomial(&mut criterion);
+    finite_step(&mut criterion);
+    if !criterion.is_test_mode() && !criterion.measurements().is_empty() {
+        if let Err(e) = emit_json(criterion.measurements()) {
+            eprintln!("failed to write BENCH_samplers.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,20 +1,24 @@
-//! The CI perf-regression gate: compares a fresh `BENCH_dist.json`
-//! (written by `cargo bench --bench dist_runtime`) against the
+//! The CI perf-regression gate: compares fresh bench reports
+//! (`BENCH_dist.json` from `cargo bench --bench dist_runtime`,
+//! `BENCH_samplers.json` from `--bench samplers`) against the
 //! committed reference `results/BENCH_baseline.json` and exits
-//! non-zero if any runtime regressed by more than the threshold at the
-//! gated fleet size.
+//! non-zero if any gated row regressed by more than the threshold.
 //!
 //! ```text
-//! cargo run -p sociolearn-bench --bin bench_gate -- [FRESH [BASELINE]]
+//! cargo run -p sociolearn-bench --bin bench_gate -- [FRESH [BASELINE [FRESH2...]]]
 //! ```
 //!
 //! Defaults: `FRESH = results/BENCH_dist.json`, `BASELINE =
-//! results/BENCH_baseline.json`, both relative to the workspace root.
-//! The gate bites only at `N = 100_000` (smaller fleets are too noisy
-//! per-round to gate on) and only for runtimes present in the
-//! baseline; a new runtime in the fresh report is listed as ungated
-//! until the baseline is refreshed. `BENCH_GATE_THRESHOLD` overrides
-//! the default 20% regression allowance (e.g. `0.5` for 50%).
+//! results/BENCH_baseline.json`, both relative to the workspace root;
+//! any further arguments are additional fresh reports merged into the
+//! comparison. A row is gated when its baseline entry carries
+//! `"gated": true` (the sampler-bound rows), or — for rows without the
+//! flag — when it sits at `N = 100_000` (the dist-runtime convention:
+//! smaller fleets are too noisy per-round to gate on). Only runtimes
+//! present in the baseline can gate; a new runtime in a fresh report
+//! is listed as ungated until the baseline is refreshed.
+//! `BENCH_GATE_THRESHOLD` overrides the default 20% regression
+//! allowance (e.g. `0.5` for 50%).
 //!
 //! To refresh the baseline after an intentional perf change, run the
 //! bench on a quiet machine and copy the report over the baseline:
@@ -30,12 +34,15 @@ const GATE_N: u64 = 100_000;
 const DEFAULT_THRESHOLD: f64 = 0.20;
 
 /// One `{ "runtime": ..., "n": ..., "ns_per_round": ... }` row of a
-/// bench report.
+/// bench report. `gated` mirrors the optional `"gated"` JSON field:
+/// `Some(true)` forces the row into the gate at any `n`, absent falls
+/// back to the `n == GATE_N` convention.
 #[derive(Debug, Clone, PartialEq)]
 struct Row {
     runtime: String,
     n: u64,
     ns_per_round: f64,
+    gated: Option<bool>,
 }
 
 /// Extracts the string value of `"key": "..."` from one JSON object
@@ -61,7 +68,22 @@ fn field_num(obj: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parses every benchmark row out of a `BENCH_dist.json` report.
+/// Extracts the boolean value of `"key": true|false` from one JSON
+/// object body.
+fn field_bool(obj: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\"");
+    let rest = &obj[obj.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Parses every benchmark row out of a bench report.
 fn parse_rows(json: &str) -> Vec<Row> {
     let mut rows = Vec::new();
     // Rows are the only objects in the report carrying a "runtime"
@@ -78,6 +100,7 @@ fn parse_rows(json: &str) -> Vec<Row> {
             runtime,
             n: n as u64,
             ns_per_round: ns,
+            gated: field_bool(obj, "gated"),
         });
     }
     rows
@@ -113,7 +136,8 @@ enum Verdict {
 
 /// Compares fresh against baseline, returning one `(runtime, n,
 /// baseline_ns, fresh_ns, verdict)` line per (runtime, n) pair seen in
-/// either report. Only baseline rows at `gate_n` can fail the gate.
+/// either report. Only gated baseline rows (explicit `"gated": true`,
+/// or `n == gate_n` when the flag is absent) can fail the gate.
 fn compare(
     baseline: &[Row],
     fresh: &[Row],
@@ -122,13 +146,14 @@ fn compare(
 ) -> Vec<(String, u64, f64, f64, Verdict)> {
     let mut out = Vec::new();
     for b in baseline {
+        let gate = b.gated.unwrap_or(b.n == gate_n);
         let fresh_row = fresh.iter().find(|f| f.runtime == b.runtime && f.n == b.n);
         let verdict = match fresh_row {
-            None if b.n == gate_n => Verdict::MissingInFresh,
+            None if gate => Verdict::MissingInFresh,
             None => Verdict::NotGated,
             Some(f) => {
                 let ratio = f.ns_per_round / b.ns_per_round;
-                if b.n != gate_n {
+                if !gate {
                     Verdict::NotGated
                 } else if ratio > 1.0 + threshold {
                     Verdict::Regressed
@@ -168,9 +193,12 @@ fn compare(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fresh_path = args
+    // Positional args: [FRESH [BASELINE [FRESH2...]]] — the first and
+    // any third-and-later are fresh reports, merged row-wise.
+    let mut fresh_paths: Vec<PathBuf> = vec![args
         .first()
-        .map_or_else(|| root_path("BENCH_dist.json"), PathBuf::from);
+        .map_or_else(|| root_path("BENCH_dist.json"), PathBuf::from)];
+    fresh_paths.extend(args.iter().skip(2).map(PathBuf::from));
     let baseline_path = args
         .get(1)
         .map_or_else(|| root_path("BENCH_baseline.json"), PathBuf::from);
@@ -179,19 +207,32 @@ fn main() -> ExitCode {
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(DEFAULT_THRESHOLD);
 
-    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
-        (Ok(b), Ok(f)) => (b, f),
-        (b, f) => {
-            for err in [b.err(), f.err()].into_iter().flatten() {
-                eprintln!("bench_gate: {err}");
-            }
+    let baseline = match load(&baseline_path) {
+        Ok(b) => b,
+        Err(err) => {
+            eprintln!("bench_gate: {err}");
             return ExitCode::FAILURE;
         }
     };
+    let mut fresh = Vec::new();
+    for path in &fresh_paths {
+        match load(path) {
+            Ok(rows) => fresh.extend(rows),
+            Err(err) => {
+                eprintln!("bench_gate: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
+    let fresh_list = fresh_paths
+        .iter()
+        .map(|p| p.display().to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     println!(
-        "bench_gate: fresh {} vs baseline {} (gate: > {:.0}% slower at N = {GATE_N})",
-        fresh_path.display(),
+        "bench_gate: fresh {} vs baseline {} (gate: > {:.0}% slower on gated rows)",
+        fresh_list,
         baseline_path.display(),
         threshold * 100.0,
     );
@@ -229,8 +270,8 @@ fn main() -> ExitCode {
 
     if failures > 0 {
         eprintln!(
-            "bench_gate: {failures} runtime(s) failed the gate at N = {GATE_N}. If the \
-             slowdown is intentional, refresh results/BENCH_baseline.json (see README)."
+            "bench_gate: {failures} gated row(s) failed. If the slowdown is intentional, \
+             refresh results/BENCH_baseline.json (see README)."
         );
         return ExitCode::FAILURE;
     }
@@ -250,6 +291,14 @@ mod tests {
             runtime: runtime.into(),
             n,
             ns_per_round: ns,
+            gated: None,
+        }
+    }
+
+    fn gated_row(runtime: &str, n: u64, ns: f64) -> Row {
+        Row {
+            gated: Some(true),
+            ..row(runtime, n, ns)
         }
     }
 
@@ -301,6 +350,42 @@ mod tests {
         assert_eq!(report[0].4, Verdict::MissingInFresh);
         assert_eq!(report[1].4, Verdict::NotGated);
         assert_eq!(report[1].0, "new");
+    }
+
+    #[test]
+    fn gated_flag_parses_and_gates_at_any_n() {
+        let json = r#"{
+  "results": [
+    { "runtime": "binomial_draw_exact_nq5000", "n": 16668, "ns_per_round": 50.0, "gated": true },
+    { "runtime": "finite_step", "n": 1000000, "ns_per_round": 900.0, "gated": true },
+    { "runtime": "categorical_draw_alias", "n": 4, "ns_per_round": 5.0 }
+  ]
+}
+"#;
+        let rows = parse_rows(json);
+        assert_eq!(
+            rows,
+            vec![
+                gated_row("binomial_draw_exact_nq5000", 16_668, 50.0),
+                gated_row("finite_step", 1_000_000, 900.0),
+                row("categorical_draw_alias", 4, 5.0),
+            ]
+        );
+
+        // A gated row regresses at an n far from GATE_N; an ungated
+        // row at the same n stays informational.
+        let baseline = vec![gated_row("a", 16_668, 100.0), row("b", 16_668, 100.0)];
+        let fresh = vec![row("a", 16_668, 130.0), row("b", 16_668, 500.0)];
+        let report = compare(&baseline, &fresh, GATE_N, 0.2);
+        assert_eq!(report[0].4, Verdict::Regressed, "gated row must gate");
+        assert_eq!(report[1].4, Verdict::NotGated, "flagless off-GATE_N row");
+    }
+
+    #[test]
+    fn gated_row_missing_in_fresh_fails() {
+        let baseline = vec![gated_row("a", 16_668, 100.0)];
+        let report = compare(&baseline, &[], GATE_N, 0.2);
+        assert_eq!(report[0].4, Verdict::MissingInFresh);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::dynamics::GroupDynamics;
 use crate::params::Params;
+use crate::scratch::write_adopt_probs;
 use rand::{Rng, RngCore};
 
 /// The same finite-population dynamics as
@@ -47,6 +48,11 @@ pub struct AgentPopulation {
     committed_options: Vec<u32>,
     /// Cached per-option committed counts.
     counts: Vec<u64>,
+    /// Scratch: last step's pool, recycled as next step's new pool so
+    /// stepping never allocates.
+    pool_scratch: Vec<u32>,
+    /// Scratch: per-option adoption probabilities `f(R_j)`.
+    adopt: Vec<f64>,
     steps: u64,
 }
 
@@ -83,6 +89,8 @@ impl AgentPopulation {
         }
         AgentPopulation {
             n: choices.len(),
+            pool_scratch: Vec::with_capacity(choices.len()),
+            adopt: vec![0.0; m],
             params,
             choices,
             committed_options,
@@ -152,10 +160,19 @@ impl GroupDynamics for AgentPopulation {
             "rewards length must equal the number of options"
         );
         let mu = self.params.mu();
-        let pool = std::mem::take(&mut self.committed_options);
+        let p_false = self.params.adopt_probability(false);
+        let p_true = self.params.adopt_probability(true);
+        write_adopt_probs(rewards, p_false, p_true, &mut self.adopt);
 
-        let mut new_counts = vec![0u64; m];
-        let mut new_pool = Vec::with_capacity(self.n);
+        // Swap last step's pool out and recycle the previous scratch
+        // buffer as the new pool: the step is allocation-free once the
+        // buffers have grown to capacity.
+        let pool = std::mem::replace(
+            &mut self.committed_options,
+            std::mem::take(&mut self.pool_scratch),
+        );
+        self.committed_options.clear();
+        self.counts.fill(0);
         for choice in self.choices.iter_mut() {
             // Stage 1: pick an option to consider.
             let j = if pool.is_empty() || rng.gen_bool(mu) {
@@ -164,17 +181,15 @@ impl GroupDynamics for AgentPopulation {
                 pool[rng.gen_range(0..pool.len())]
             };
             // Stage 2: observe the signal, adopt or sit out.
-            let adopt_p = self.params.adopt_probability(rewards[j as usize]);
-            if rng.gen_bool(adopt_p) {
+            if rng.gen_bool(self.adopt[j as usize]) {
                 *choice = Some(j);
-                new_counts[j as usize] += 1;
-                new_pool.push(j);
+                self.counts[j as usize] += 1;
+                self.committed_options.push(j);
             } else {
                 *choice = None;
             }
         }
-        self.counts = new_counts;
-        self.committed_options = new_pool;
+        self.pool_scratch = pool;
         self.steps += 1;
     }
 

@@ -4,6 +4,7 @@
 use crate::dynamics::GroupDynamics;
 use crate::params::Params;
 use crate::sampling::{sample_binomial, sample_multinomial};
+use crate::scratch::{mix_popularity, write_adopt_probs, StepScratch};
 use rand::RngCore;
 
 /// Per-step record of the two stages: how many individuals *sampled*
@@ -62,10 +63,9 @@ pub struct FinitePopulation {
     n: usize,
     /// Committed counts `D_j` after the latest step.
     counts: Vec<u64>,
-    /// Scratch: sampling probabilities for stage 1.
-    probs: Vec<f64>,
-    /// Scratch: stage-1 counts.
-    sampled: Vec<u64>,
+    /// Per-step SoA scratch (`probs` / `sampled` / `adopt`), reused
+    /// across steps so the hot loop is allocation-free.
+    scratch: StepScratch,
     steps: u64,
 }
 
@@ -114,8 +114,7 @@ impl FinitePopulation {
             params,
             n,
             counts,
-            probs: vec![0.0; m],
-            sampled: vec![0; m],
+            scratch: StepScratch::new(m),
             steps: 0,
         }
     }
@@ -153,15 +152,7 @@ impl FinitePopulation {
             m,
             "buffer length must equal the number of options"
         );
-        let mu = self.params.mu();
-        let total: u64 = self.counts.iter().sum();
-        if total == 0 {
-            out.fill(1.0 / m as f64);
-            return;
-        }
-        for (slot, &c) in out.iter_mut().zip(&self.counts) {
-            *slot = (1.0 - mu) * (c as f64 / total as f64) + mu / m as f64;
-        }
+        write_mix(&self.counts, self.params.mu(), out);
     }
 
     /// Advances one step and returns the per-stage counts.
@@ -185,26 +176,44 @@ impl FinitePopulation {
             "rewards length must equal the number of options"
         );
 
-        // Stage 1: everyone picks an option to consider.
-        let mut probs = std::mem::take(&mut self.probs);
-        self.write_sampling_distribution(&mut probs);
-        let mut sampled = std::mem::take(&mut self.sampled);
-        sample_multinomial(rng, self.n as u64, &probs, &mut sampled);
-        self.probs = probs;
+        let StepScratch {
+            probs,
+            sampled,
+            adopt,
+        } = &mut self.scratch;
 
-        // Stage 2: adopt with probability f(R_j), else sit out.
-        for (j, count) in self.counts.iter_mut().enumerate() {
-            let p = self.params.adopt_probability(rewards[j]);
-            *count = sample_binomial(rng, sampled[j], p);
+        // Stage 1: everyone picks an option to consider.
+        write_mix(&self.counts, self.params.mu(), probs);
+        sample_multinomial(rng, self.n as u64, probs, sampled);
+
+        // Stage 2: adopt with probability f(R_j), else sit out. The
+        // adoption probabilities are materialized once per step so the
+        // thinning loop is a straight zip over the SoA buffers.
+        let p_false = self.params.adopt_probability(false);
+        let p_true = self.params.adopt_probability(true);
+        write_adopt_probs(rewards, p_false, p_true, adopt);
+        for ((count, &s), &p) in self.counts.iter_mut().zip(&*sampled).zip(&*adopt) {
+            *count = sample_binomial(rng, s, p);
         }
         self.steps += 1;
-        let record = StepRecord {
+        StepRecord {
             sampled: sampled.clone(),
             committed: self.counts.clone(),
-        };
-        self.sampled = sampled;
-        record
+        }
     }
+}
+
+/// Writes the stage-1 mix `(1-µ)·counts_j/total + µ/m` into `out`,
+/// falling back to uniform when nobody is committed. Both divisions
+/// are hoisted so the per-option work is one fused multiply-add.
+fn write_mix(counts: &[u64], mu: f64, out: &mut [f64]) {
+    let m = out.len();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        out.fill(1.0 / m as f64);
+        return;
+    }
+    mix_popularity(counts, out, (1.0 - mu) / total as f64, mu / m as f64);
 }
 
 impl GroupDynamics for FinitePopulation {

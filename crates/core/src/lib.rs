@@ -75,6 +75,7 @@ mod params;
 mod regret;
 mod reward;
 mod sampling;
+mod scratch;
 mod snapshot;
 
 pub use agents::AgentPopulation;

@@ -101,8 +101,11 @@ impl AliasTable {
 /// inversion (O(m) per draw). Used where the distribution changes
 /// every draw so an alias table would not amortize.
 ///
-/// Falls back to the last index on accumulated rounding error; treats
-/// the vector as unnormalized weights.
+/// Treats the vector as unnormalized weights. When accumulated
+/// floating-point error leaves residual mass after the scan (possible
+/// because `u` is drawn against the one-shot sum while the scan
+/// subtracts term by term), the draw falls back to the last
+/// *positive-weight* index — a zero-weight category is never returned.
 ///
 /// # Panics
 ///
@@ -112,21 +115,28 @@ pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, probs: &[f64]) -> usize 
     let total: f64 = probs.iter().sum();
     assert!(total > 0.0, "sample_categorical: zero-mass distribution");
     let mut u = rng.gen::<f64>() * total;
+    let mut last_positive = usize::MAX;
     for (i, &p) in probs.iter().enumerate() {
-        u -= p;
-        if u <= 0.0 {
-            return i;
+        if p > 0.0 {
+            u -= p;
+            last_positive = i;
+            if u <= 0.0 {
+                return i;
+            }
         }
     }
-    probs.len() - 1
+    // Unreachable in exact arithmetic (u < total); the asserted
+    // positive sum guarantees `last_positive` was set.
+    last_positive
 }
 
 /// Draws from `Binomial(n, p)` by delegating to `rand_distr`'s
-/// `Binomial`, handling the `p ∈ {0, 1}` edges directly. With the
-/// vendored shim this is exact (geometric waiting times) up to
-/// `n·min(p, 1-p) ≤ 5000` and a rounded-normal approximation beyond
-/// (see `vendor/rand_distr`); swap in the real crate for BTPE-exact
-/// draws at every scale.
+/// `Binomial`, handling the `p ∈ {0, 1}` edges directly. Exact at
+/// every `(n, p)`: the vendored shim (like the real crate) uses BINV
+/// inverse-transform below mean `n·min(p, 1-p) = 10` and the BTPE
+/// rejection sampler beyond, so a draw costs O(1) expected uniforms at
+/// any scale — there is no approximation regime (see
+/// `vendor/rand_distr`).
 ///
 /// # Panics
 ///
@@ -148,10 +158,15 @@ pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
 }
 
 /// Draws `S ~ Multinomial(n, probs)` into `out` using the conditional
-/// binomial decomposition — the joint law, in O(m) binomial draws
-/// (exact wherever [`sample_binomial`] is exact).
+/// binomial decomposition — the joint law, in O(m) exact binomial
+/// draws (O(1) expected uniforms each, see [`sample_binomial`]).
 ///
-/// `probs` is treated as unnormalized non-negative weights.
+/// `probs` is treated as unnormalized non-negative weights. The last
+/// positive-weight category is the decomposition's terminal one (its
+/// conditional probability is exactly 1), so trials are conserved and
+/// a zero-weight category is never drawn — including when accumulated
+/// floating-point error exhausts the running mass early, in which case
+/// the leftover trials go to the last positive-weight category.
 ///
 /// # Panics
 ///
@@ -169,30 +184,33 @@ pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64], o
         remaining_mass > 0.0 && probs.iter().all(|&p| p >= 0.0),
         "multinomial: weights must be non-negative with positive sum"
     );
+    let last_positive = probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .expect("positive sum implies a positive weight");
+    out[last_positive..].fill(0);
     let mut remaining = n;
-    for (i, &p) in probs.iter().enumerate() {
+    for i in 0..last_positive {
         if remaining == 0 {
-            out[i..].fill(0);
+            out[i..last_positive].fill(0);
             return;
         }
-        if i == probs.len() - 1 {
-            out[i] = remaining;
+        if remaining_mass <= 0.0 {
+            // Floating-point drift exhausted the running mass before
+            // the terminal category: the leftover trials belong to the
+            // categories still ahead — hand them to the last
+            // positive-weight one, never to a zero-weight category.
+            out[i..last_positive].fill(0);
+            out[last_positive] = remaining;
             return;
         }
-        let cond = (p / remaining_mass).clamp(0.0, 1.0);
+        let cond = (probs[i] / remaining_mass).clamp(0.0, 1.0);
         let draw = sample_binomial(rng, remaining, cond);
         out[i] = draw;
         remaining -= draw;
-        remaining_mass -= p;
-        if remaining_mass <= 0.0 {
-            // All remaining weights are zero; nothing else can be drawn.
-            out[i + 1..].fill(0);
-            // Any leftover count would indicate inconsistent weights;
-            // assign it to the last positive-weight category (here).
-            out[i] += remaining;
-            return;
-        }
+        remaining_mass -= probs[i];
     }
+    out[last_positive] = remaining;
 }
 
 #[cfg(test)]
@@ -277,6 +295,34 @@ mod tests {
     }
 
     #[test]
+    fn categorical_fallback_skips_zero_weight_tail() {
+        // Regression: with the maximal uniform (StepRng pinned at
+        // u64::MAX) and weights of mixed magnitude, the term-by-term
+        // subtraction scan retains residual mass after every positive
+        // weight, so the scan falls through. The fallback must land on
+        // the last *positive* weight (index 6), never the zero-weight
+        // tail (index 7) the old code returned.
+        let probs = [0.1, 0.3, 3.0, 3.0, 1e8, 7.0, 0.7, 0.0];
+        let mut rng = rand::rngs::mock::StepRng::new(u64::MAX, 0);
+        let idx = sample_categorical(&mut rng, &probs);
+        assert!(probs[idx] > 0.0, "zero-weight category {idx} drawn");
+        assert_eq!(idx, 6);
+    }
+
+    #[test]
+    fn categorical_never_draws_zero_weight_tail() {
+        // [1.0, 0.0]-shaped tails across ordinary seeds.
+        let shapes: [&[f64]; 3] = [&[1.0, 0.0], &[0.4, 0.6, 0.0, 0.0], &[0.0, 1.0, 0.0]];
+        let mut rng = SmallRng::seed_from_u64(41);
+        for probs in shapes {
+            for _ in 0..20_000 {
+                let idx = sample_categorical(&mut rng, probs);
+                assert!(probs[idx] > 0.0, "zero-weight category {idx} drawn");
+            }
+        }
+    }
+
+    #[test]
     fn binomial_edges() {
         let mut rng = SmallRng::seed_from_u64(17);
         assert_eq!(sample_binomial(&mut rng, 10, 0.0), 0);
@@ -347,5 +393,46 @@ mod tests {
         let mut out = [9u64; 2];
         sample_multinomial(&mut rng, 0, &[0.5, 0.5], &mut out);
         assert_eq!(out, [0, 0]);
+    }
+
+    #[test]
+    fn multinomial_interleaved_zero_weights() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let probs = [0.0, 1.0, 0.0, 2.0, 0.0];
+        let mut out = [0u64; 5];
+        for _ in 0..300 {
+            sample_multinomial(&mut rng, 500, &probs, &mut out);
+            assert_eq!(out.iter().sum::<u64>(), 500);
+            for (i, (&p, &c)) in probs.iter().zip(&out).enumerate() {
+                assert!(p > 0.0 || c == 0, "zero-weight category {i} drawn");
+            }
+        }
+    }
+
+    #[test]
+    fn multinomial_drifted_mass_conserves_and_respects_zero_weights() {
+        // Regression: these magnitude mixes drive the running mass to
+        // <= 0 by floating-point drift *before* the last positive
+        // weight is reached (the 1e16 entry absorbs the small ones in
+        // the one-shot sum but not in the term-by-term subtraction).
+        // Leftover trials must land on a positive-weight category and
+        // the total must be conserved — the old code dumped them on
+        // whatever category the drift happened at, zero-weight or not.
+        let cases: [&[f64]; 3] = [
+            &[1e16, 0.2, 0.0, 0.7],
+            &[0.3, 1e16, 0.3, 1e8, 0.7, 0.0, 0.2],
+            &[1e16, 0.7, 1e-9, 0.7, 0.0, 0.3],
+        ];
+        for probs in cases {
+            let mut out = vec![0u64; probs.len()];
+            for seed in 0..300 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                sample_multinomial(&mut rng, 1_000, probs, &mut out);
+                assert_eq!(out.iter().sum::<u64>(), 1_000, "trials lost: {out:?}");
+                for (i, (&p, &c)) in probs.iter().zip(&out).enumerate() {
+                    assert!(p > 0.0 || c == 0, "zero-weight category {i} drawn: {out:?}");
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,211 @@
+//! Goodness-of-fit of the exact binomial sampler against the exact
+//! distribution, across a grid spanning the old normal-approximation
+//! cutoff `n·min(p,1-p) > 5000`.
+//!
+//! Until this suite existed, the vendored `Binomial` silently switched
+//! to a rounded-normal approximation exactly in the large-`n` regime
+//! the paper's concentration results (Propositions 4.1–4.2,
+//! Theorem 4.6) are about. The sampler is now exact at every `(n, p)`
+//! (BINV inverse transform below mean 10, BTPE rejection above), and
+//! these chi-square tests are the referee: each grid point is binned
+//! into roughly equal-probability cells from the exact pmf and tested
+//! at significance 1e-3.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sociolearn::core::sample_binomial;
+use sociolearn::stats::binomial_ln_pmf;
+
+/// Draws per grid point.
+const DRAWS: usize = 20_000;
+/// Target number of (approximately equal-probability) bins.
+const TARGET_BINS: usize = 30;
+/// Minimum expected count per bin (else merged into its neighbor).
+const MIN_EXPECTED: f64 = 5.0;
+
+/// Upper chi-square critical value at significance 1e-3 via the
+/// Wilson–Hilferty cube approximation (accurate to well under 1% for
+/// the degrees of freedom used here).
+fn chi2_critical_1e3(df: f64) -> f64 {
+    let z = 3.090_232_306_167_813; // Phi^{-1}(1 - 1e-3)
+    let a = 2.0 / (9.0 * df);
+    df * (1.0 - a + z * a.sqrt()).powi(3)
+}
+
+/// Bins the support `lo..=hi` into consecutive runs of roughly equal
+/// exact probability; returns (inclusive upper edges, bin probabilities).
+fn equal_probability_bins(n: u64, p: f64, lo: u64, hi: u64) -> (Vec<u64>, Vec<f64>) {
+    let pmf: Vec<f64> = (lo..=hi).map(|k| binomial_ln_pmf(n, k, p).exp()).collect();
+    let mass: f64 = pmf.iter().sum();
+    assert!(
+        mass > 1.0 - 1e-6,
+        "support window dropped real mass: {mass} (n={n}, p={p})"
+    );
+    let target = mass / TARGET_BINS as f64;
+    let mut edges = Vec::new();
+    let mut probs = Vec::new();
+    let mut acc = 0.0;
+    for (i, &f) in pmf.iter().enumerate() {
+        acc += f;
+        if acc >= target || i == pmf.len() - 1 {
+            edges.push(lo + i as u64);
+            probs.push(acc / mass);
+            acc = 0.0;
+        }
+    }
+    // A sparse trailing bin would break the chi-square approximation;
+    // fold it into its neighbor.
+    while probs.len() > 1 && *probs.last().unwrap() * DRAWS as f64 <= MIN_EXPECTED {
+        let last = probs.pop().unwrap();
+        *probs.last_mut().unwrap() += last;
+        let e = edges.pop().unwrap();
+        *edges.last_mut().unwrap() = e;
+    }
+    (edges, probs)
+}
+
+/// Chi-square GOF statistic of `DRAWS` sampler draws against the exact
+/// binned distribution; panics if it exceeds the 1e-3 critical value.
+fn assert_gof(n: u64, p: f64, seed: u64) {
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt().max(1.0);
+    // 12σ window: negligible truncated mass even for the skewed
+    // small-mean points, checked by the mass assertion below.
+    let lo = (mean - 12.0 * sd).floor().max(0.0) as u64;
+    let hi = ((mean + 12.0 * sd).ceil() as u64).min(n);
+    let (edges, probs) = equal_probability_bins(n, p, lo, hi);
+
+    let mut observed = vec![0u64; probs.len()];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..DRAWS {
+        let x = sample_binomial(&mut rng, n, p).clamp(lo, hi);
+        let bin = edges.partition_point(|&e| e < x);
+        observed[bin] += 1;
+    }
+
+    let mut chi2 = 0.0;
+    for (&obs, &pr) in observed.iter().zip(&probs) {
+        let expected = pr * DRAWS as f64;
+        chi2 += (obs as f64 - expected).powi(2) / expected;
+    }
+    let df = (probs.len() - 1) as f64;
+    let crit = chi2_critical_1e3(df);
+    assert!(
+        chi2 < crit,
+        "chi-square GOF failed at n={n}, p={p}: chi2={chi2:.2} > crit={crit:.2} (df={df})"
+    );
+}
+
+#[test]
+fn gof_small_mean_binv_regime() {
+    // Mean below the BINV threshold of 10.
+    assert_gof(100, 0.01, 0xB10);
+    assert_gof(40, 0.1, 0xB11);
+    assert_gof(100_000_000, 1e-8, 0xB12);
+}
+
+#[test]
+fn gof_btpe_below_old_cutoff() {
+    // BTPE regime, but still inside the old shim's "exact" band
+    // (n·min(p,1-p) <= 5000).
+    assert_gof(50, 0.5, 0xB20);
+    assert_gof(1_000, 0.9, 0xB21);
+    assert_gof(10_000, 0.4, 0xB22);
+}
+
+#[test]
+fn gof_at_old_cutoff() {
+    // n·q ≈ 5000: the exact boundary where the old shim flipped from
+    // waiting-time sampling to the rounded normal.
+    assert_gof(16_667, 0.3, 0xB30);
+    assert_gof(10_000, 0.5, 0xB31);
+}
+
+#[test]
+fn gof_beyond_old_cutoff() {
+    // n·min(p,1-p) > 5000: the regime the old shim approximated. This
+    // is the band the paper's large-N concentration claims live in.
+    assert_gof(100_000, 0.5, 0xB40);
+    assert_gof(1_000_000, 0.4, 0xB41);
+    assert_gof(100_000_000, 0.01, 0xB42);
+    assert_gof(100_000_000, 0.4, 0xB43);
+    assert_gof(100_000_000, 0.5, 0xB44);
+    assert_gof(100_000_000, 0.9, 0xB45);
+}
+
+#[test]
+fn gof_tiny_p_large_n() {
+    // p = 1e-6 at n = 1e8: mean 100, far into BTPE by mean but with
+    // extreme asymmetry.
+    assert_gof(100_000_000, 1e-6, 0xB50);
+}
+
+#[test]
+fn moments_match_theory_across_regimes() {
+    let mut rng = SmallRng::seed_from_u64(0x40404);
+    for &(n, p) in &[
+        (1_000u64, 0.3f64),
+        (100_000, 0.5),
+        (10_000_000, 0.2),
+        (100_000_000, 1e-6),
+    ] {
+        let reps = 4_000;
+        let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+        for _ in 0..reps {
+            let x = sample_binomial(&mut rng, n, p) as f64;
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / reps as f64;
+        let var = sum_sq / reps as f64 - mean * mean;
+        let (t_mean, t_var) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        // Mean within 6 standard errors; variance within 15%.
+        let se = (t_var / reps as f64).sqrt();
+        assert!(
+            (mean - t_mean).abs() < 6.0 * se,
+            "mean off at n={n}, p={p}: {mean} vs {t_mean}"
+        );
+        assert!(
+            (var - t_var).abs() < 0.15 * t_var,
+            "variance off at n={n}, p={p}: {var} vs {t_var}"
+        );
+    }
+}
+
+#[test]
+fn degenerate_edges() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..100 {
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 1_000_000, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 1_000_000, 1.0), 1_000_000);
+    }
+}
+
+#[test]
+fn draws_stay_in_support() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    for &(n, p) in &[(10u64, 0.5f64), (16_667, 0.3), (1_000_000, 0.999)] {
+        for _ in 0..2_000 {
+            assert!(sample_binomial(&mut rng, n, p) <= n);
+        }
+    }
+}
+
+#[test]
+fn deterministic_under_seed() {
+    let run = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        [
+            (1_000u64, 0.3f64),
+            (16_667, 0.3),
+            (100_000_000, 0.5),
+            (100_000_000, 1e-6),
+        ]
+        .iter()
+        .map(|&(n, p)| sample_binomial(&mut rng, n, p))
+        .collect::<Vec<_>>()
+    };
+    assert_eq!(run(0xD5), run(0xD5));
+    assert_ne!(run(0xD5), run(0xD6), "different seeds should differ");
+}

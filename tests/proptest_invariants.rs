@@ -7,8 +7,9 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sociolearn::core::{
-    assert_distribution, ratio_deviation, sample_multinomial, tv_distance, AgentPopulation,
-    AliasTable, FinitePopulation, GroupDynamics, InfiniteDynamics, Params, StochasticMwu,
+    assert_distribution, ratio_deviation, sample_categorical, sample_multinomial, tv_distance,
+    AgentPopulation, AliasTable, FinitePopulation, GroupDynamics, InfiniteDynamics, Params,
+    StochasticMwu,
 };
 use sociolearn::dist::{DistConfig, EventRuntime, FaultPlan, Runtime, StalenessBound};
 use sociolearn::stats::Summary;
@@ -142,6 +143,50 @@ proptest! {
             if *w == 0.0 {
                 prop_assert_eq!(count, 0, "zero-weight category drawn");
             }
+        }
+    }
+
+    #[test]
+    fn multinomial_conserves_with_interleaved_zero_weights(
+        n in 0u64..5_000,
+        // Each slot is independently forced to an exact 0.0 or given a
+        // positive weight, so zeros land at every position — including
+        // the trailing positions the drifted-mass fallback used to
+        // dump leftover trials on.
+        slots in proptest::collection::vec((any::<bool>(), 0.01f64..10.0), 2..10),
+        seed in any::<u64>(),
+    ) {
+        let weights: Vec<f64> = slots
+            .iter()
+            .map(|&(zero, w)| if zero { 0.0 } else { w })
+            .collect();
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = vec![0u64; weights.len()];
+        sample_multinomial(&mut rng, n, &weights, &mut out);
+        prop_assert_eq!(out.iter().sum::<u64>(), n, "trials not conserved");
+        for (w, &count) in weights.iter().zip(&out) {
+            if *w == 0.0 {
+                prop_assert_eq!(count, 0, "zero-weight category drawn");
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_never_returns_zero_weight(
+        slots in proptest::collection::vec((any::<bool>(), 0.01f64..10.0), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let weights: Vec<f64> = slots
+            .iter()
+            .map(|&(zero, w)| if zero { 0.0 } else { w })
+            .collect();
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = sample_categorical(&mut rng, &weights);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "drew zero-weight category {}", i);
         }
     }
 

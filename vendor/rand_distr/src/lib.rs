@@ -1,6 +1,7 @@
 //! Offline stand-in for the subset of the `rand_distr` crate (0.4 API)
-//! used by this workspace: [`Distribution`], [`Binomial`] (exact up to
-//! `n·min(p, 1-p) ≤ 5000`, rounded-normal beyond), and [`Beta`]. See
+//! used by this workspace: [`Distribution`], [`Binomial`] (exact at
+//! every `(n, p)`: BINV inverse transform below mean 10, BTPE
+//! rejection above — no approximation regime), and [`Beta`]. See
 //! `vendor/README.md`.
 
 #![forbid(unsafe_code)]
@@ -66,6 +67,165 @@ impl Binomial {
     }
 }
 
+/// Mean (`n·min(p, 1-p)`) below which the inverse-transform BINV
+/// sampler is used; at or above it, BTPE. BINV walks the CDF from 0,
+/// so its cost is the mean itself — cheap below 10 — while BTPE's
+/// dominating envelope only covers the binomial well once the
+/// distribution is wide enough (the published validity floor is
+/// `n·min(p, 1-p) ≥ 10`).
+const BINV_THRESHOLD: f64 = 10.0;
+
+/// Largest value the BINV search walks to before restarting with a
+/// fresh uniform: with mean < 10 the mass above 110 is below 1e-80,
+/// and the cap keeps accumulated floating-point underflow in the
+/// recurrence from stalling the walk.
+const BINV_MAX_X: u64 = 110;
+
+/// Inverse-transform binomial sampling (the BINV algorithm of
+/// Kachitvichyanukul–Schmeiser 1988): one uniform is carried down the
+/// CDF via the ratio recurrence `f(x+1) = f(x)·(a/(x+1) - s)`. Exact;
+/// expected cost O(n·p). Requires `0 < p ≤ 0.5`.
+fn sample_binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let s = p / (1.0 - p);
+    let a = (n as f64 + 1.0) * s;
+    // (1-p)^n in log space: n can be large even when n·p is small.
+    let f0 = (n as f64 * (-p).ln_1p()).exp();
+    loop {
+        let mut f = f0;
+        let mut u: f64 = rng.gen();
+        let mut x = 0u64;
+        loop {
+            if u < f {
+                return x;
+            }
+            if x > BINV_MAX_X {
+                break; // astronomically rare: restart with a fresh u
+            }
+            u -= f;
+            x += 1;
+            f *= a / x as f64 - s;
+        }
+    }
+}
+
+/// The fourth-order Stirling series correction used by BTPE's final
+/// acceptance comparison: `ln x! ≈ (x+1/2)·ln x - x + ln √2π + c(x)`
+/// with `c` evaluated at `x` via its square `x2 = x²`.
+fn stirling_tail(x: f64, x2: f64) -> f64 {
+    (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / x2) / x2) / x2) / x2) / x / 166320.0
+}
+
+/// The BTPE rejection sampler (Kachitvichyanukul–Schmeiser 1988,
+/// "Binomial Triangle Parallelogram Exponential"): the scaled binomial
+/// pmf is dominated by a piecewise envelope — a central triangle
+/// (immediate acceptance), two parallelogram wedges, and two
+/// exponential tails — giving exact draws in O(1) expected uniforms at
+/// any scale. Requires `0 < p ≤ 0.5` and `n·p·(1-p)` large enough for
+/// the envelope to dominate (callers gate on [`BINV_THRESHOLD`]).
+fn sample_btpe<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    // Step 0: set up the envelope constants (depend only on (n, p)).
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let npq = nf * p * q;
+    let f_m = nf * p + p;
+    let m = f_m.floor(); // the mode, as an integer-valued f64
+    let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+    let x_m = m + 0.5;
+    let x_l = x_m - p1;
+    let x_r = x_m + p1;
+    let c = 0.134 + 20.5 / (15.3 + m);
+    let al = (f_m - x_l) / (f_m - x_l * p);
+    let lambda_l = al * (1.0 + 0.5 * al);
+    let ar = (x_r - f_m) / (x_r * q);
+    let lambda_r = ar * (1.0 + 0.5 * ar);
+    let p2 = p1 * (1.0 + 2.0 * c);
+    let p3 = p2 + c / lambda_l;
+    let p4 = p3 + c / lambda_r;
+
+    loop {
+        // Step 1: locate the envelope region by area.
+        let u: f64 = rng.gen::<f64>() * p4;
+        let mut v: f64 = rng.gen();
+        let y: f64;
+        if u <= p1 {
+            // Triangular center: accept immediately.
+            return (x_m - p1 * v + u).floor() as u64;
+        } else if u <= p2 {
+            // Step 2: parallelogram wedge.
+            let x = x_l + (u - p1) / c;
+            v = v * c + 1.0 - (x - x_m).abs() / p1;
+            if v > 1.0 || v <= 0.0 {
+                continue;
+            }
+            y = x.floor();
+        } else if u <= p3 {
+            // Step 3: left exponential tail.
+            y = (x_l + v.ln() / lambda_l).floor();
+            if y < 0.0 {
+                continue;
+            }
+            v *= (u - p2) * lambda_l;
+        } else {
+            // Step 4: right exponential tail.
+            y = (x_r - v.ln() / lambda_r).floor();
+            if y > nf {
+                continue;
+            }
+            v *= (u - p3) * lambda_r;
+        }
+
+        // Step 5: accept or reject (y, v) against the true pmf.
+        let k = (y - m).abs();
+        if k <= 20.0 || k >= npq / 2.0 - 1.0 {
+            // 5.1: evaluate f(y)/f(m) explicitly via the ratio
+            // recurrence — at most ~20 terms here (or a short walk in
+            // the narrow-distribution case).
+            let s = p / q;
+            let a = s * (nf + 1.0);
+            let mut f = 1.0;
+            let (mi, yi) = (m as u64, y as u64);
+            if mi < yi {
+                for i in (mi + 1)..=yi {
+                    f *= a / i as f64 - s;
+                }
+            } else {
+                for i in (yi + 1)..=mi {
+                    f /= a / i as f64 - s;
+                }
+            }
+            if v <= f {
+                return y as u64;
+            }
+        } else {
+            // 5.2: squeeze on ln v before the expensive comparison.
+            let rho = (k / npq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / npq + 0.5);
+            let t = -k * k / (2.0 * npq);
+            let lv = v.ln();
+            if lv < t - rho {
+                return y as u64;
+            }
+            if lv <= t + rho {
+                // 5.3: final comparison through Stirling expansions of
+                // the four factorials in ln[f(y)/f(m)].
+                let x1 = y + 1.0;
+                let f1 = m + 1.0;
+                let z = nf + 1.0 - m;
+                let w = nf - y + 1.0;
+                let bound = x_m * (f1 / x1).ln()
+                    + (nf - m + 0.5) * (z / w).ln()
+                    + (y - m) * (w * p / (x1 * q)).ln()
+                    + stirling_tail(f1, f1 * f1)
+                    + stirling_tail(z, z * z)
+                    + stirling_tail(x1, x1 * x1)
+                    + stirling_tail(w, w * w);
+                if lv <= bound {
+                    return y as u64;
+                }
+            }
+        }
+    }
+}
+
 impl Distribution<u64> for Binomial {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let (n, p) = (self.n, self.p);
@@ -75,40 +235,20 @@ impl Distribution<u64> for Binomial {
         if p >= 1.0 {
             return n;
         }
-        // Sample the rarer outcome for speed; flip back at the end.
+        // Sample the rarer outcome; flip back at the end. Both
+        // algorithms below are exact, so there is no approximation
+        // regime at any (n, p): BINV costs O(n·q) uniforms (fine below
+        // mean 10), BTPE O(1) expected uniforms.
         let (q, flipped) = if p <= 0.5 {
             (p, false)
         } else {
             (1.0 - p, true)
         };
         let mean = n as f64 * q;
-        let successes = if mean > 5_000.0 {
-            // Far tail of test sizes: rounded-normal approximation with
-            // continuity correction; relative error is O(1/sqrt(n q))
-            // which is indistinguishable at this workspace's sample
-            // counts. Everything below the cutoff is sampled exactly.
-            let sd = (mean * (1.0 - q)).sqrt();
-            let draw = (mean + sd * standard_normal(rng)).round();
-            draw.clamp(0.0, n as f64) as u64
+        let successes = if mean < BINV_THRESHOLD {
+            sample_binv(rng, n, q)
         } else {
-            // Exact: count successes through geometric waiting times
-            // (the "second waiting time" method), expected O(n q).
-            let log_q = (1.0 - q).ln();
-            let mut count = 0u64;
-            let mut i = 0u64;
-            loop {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let skip = (u.ln() / log_q).floor();
-                if !skip.is_finite() || skip >= (n - i) as f64 {
-                    break;
-                }
-                i += skip as u64 + 1;
-                count += 1;
-                if i >= n {
-                    break;
-                }
-            }
-            count
+            sample_btpe(rng, n, q)
         };
         if flipped {
             n - successes
@@ -235,11 +375,75 @@ mod tests {
     }
 
     #[test]
-    fn binomial_normal_tail_regime() {
+    fn binomial_btpe_large_scale_moments() {
+        // This regime (n·min(p,1-p) ≫ 5000) used to be served by a
+        // rounded-normal approximation; BTPE keeps it exact.
         let d = Binomial::new(1_000_000, 0.4).unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
-        let mean = (0..500).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / 500.0;
-        assert!((mean - 400_000.0).abs() < 200.0, "mean {mean}");
+        let reps = 4_000;
+        let draws: Vec<u64> = (0..reps).map(|_| d.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&x| x <= 1_000_000));
+        let mean = draws.iter().sum::<u64>() as f64 / reps as f64;
+        let var = draws
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / reps as f64;
+        // E = 400_000, sd ≈ 489.9; Var = 240_000.
+        assert!((mean - 400_000.0).abs() < 30.0, "mean {mean}");
+        assert!((var / 240_000.0 - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn binomial_binv_small_mean_large_n() {
+        // n huge, n·p tiny: the BINV regime must not degrade with n.
+        let d = Binomial::new(100_000_000, 1e-7).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let reps = 40_000;
+        let draws: Vec<u64> = (0..reps).map(|_| d.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / reps as f64;
+        // E = 10; Poisson-like sd ≈ 3.16, so the sample mean is within
+        // ~0.05 at 3 sigma.
+        assert!((mean - 10.0).abs() < 0.06, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_btpe_exact_pmf_small_case() {
+        // Small enough to compare frequencies against the exact pmf
+        // while still in the BTPE regime (n·p·q = 10).
+        let (n, p) = (40u64, 0.5f64);
+        let d = Binomial::new(n, p).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let reps = 200_000usize;
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..reps {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        // pmf via the ratio recurrence from the mode.
+        let mut pmf = vec![0f64; n as usize + 1];
+        pmf[0] = 0.5f64.powi(n as i32);
+        for x in 1..=n as usize {
+            pmf[x] = pmf[x - 1] * (n as f64 - x as f64 + 1.0) / x as f64;
+        }
+        for (x, (&c, &f)) in counts.iter().zip(&pmf).enumerate() {
+            let freq = c as f64 / reps as f64;
+            let sd = (f * (1.0 - f) / reps as f64).sqrt();
+            assert!(
+                (freq - f).abs() < 5.0 * sd + 1e-4,
+                "x={x}: freq {freq} vs pmf {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_deterministic_under_seed() {
+        let d = Binomial::new(1_000_000_000, 0.25).unwrap();
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..64).map(|_| d.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(13), run(13));
+        assert_ne!(run(13), run(14));
     }
 
     #[test]

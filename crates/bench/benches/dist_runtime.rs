@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 use sociolearn_bench::{bench_params, reward_stream};
 use sociolearn_core::Params;
 use sociolearn_dist::{
-    DistConfig, EventRuntime, ProtocolRuntime, Runtime, SchedulerKind, StalenessBound,
+    DistConfig, EventRuntime, FaultPlan, ProtocolRuntime, Runtime, SchedulerKind, StalenessBound,
     MAX_QUERY_RETRIES,
 };
 
@@ -183,6 +183,30 @@ fn dist_runtime_benches(c: &mut Criterion) {
                     .with_scheduler(SchedulerKind::ShardedCalendar {
                         shards: BENCH_SHARDS,
                     });
+                let mut t = 0usize;
+                b.iter(|| {
+                    net.tick(&rewards[t % rewards.len()]);
+                    t += 1;
+                });
+            },
+        );
+
+        // The same quiesced sharded deployment under continuous
+        // membership pressure: a trickle rolling restart (batch 1,
+        // period 2 — one node is out at any moment, for 2N rounds)
+        // drives the membership-transition sweep and an online
+        // node→shard rebalance on nearly every tick. This is the row
+        // the bench gate watches for churn-path regressions.
+        group.bench_with_input(
+            BenchmarkId::new(format!("event_sharded{BENCH_SHARDS}_churn"), n),
+            &n,
+            |b, &n| {
+                let plan = FaultPlan::none().rolling_restart(1, 2);
+                let mut net =
+                    EventRuntime::new(DistConfig::new(bench_params(M), n).with_faults(plan), 3)
+                        .with_scheduler(SchedulerKind::ShardedCalendar {
+                            shards: BENCH_SHARDS,
+                        });
                 let mut t = 0usize;
                 b.iter(|| {
                     net.tick(&rewards[t % rewards.len()]);

@@ -48,6 +48,28 @@
 //! distributions for any shard count**, and the law of the process
 //! matches the single-heap scheduler (KS-tested in
 //! `tests/equivalence.rs`).
+//!
+//! # Membership churn and online rebalancing
+//!
+//! Scripted joins, leaves, and rejoins (the [`FaultPlan`] membership
+//! builders) land at tick boundaries, mirroring the single-heap
+//! scheduler decision for decision: a departing node's commitment
+//! leaves the lane's popularity counts and its pending attempt is
+//! wiped; a (re)joining node enters bootstrapping and re-learns a
+//! commitment through the ordinary query/reply protocol — no state
+//! transfer, no new message types. Because churn skews the load of a
+//! fixed node→shard split, the engine also **rebalances ownership
+//! online**: on any tick whose boundary carries membership
+//! transitions, lane boundaries are recomputed to even out *present*
+//! nodes and each migrating node's full state (choices, inbox, local
+//! epoch, RNG stream, pending calendar entries) moves to its new
+//! lane. The move happens only between windows — when cross-shard
+//! mailboxes are provably empty — and the same per-node-stream +
+//! intrinsic-key argument that makes the partition invisible to the
+//! protocol makes rebalancing semantically a no-op: byte-identity
+//! across shard counts holds even while ownership shifts under churn.
+//!
+//! [`FaultPlan`]: crate::FaultPlan
 
 use std::collections::VecDeque;
 
@@ -60,7 +82,10 @@ use crate::event::{
     Event, Mode, Msg, Pending, StalenessBound, ASYNC_EPOCH_PERIOD, ASYNC_WAKE_JITTER,
     DELIVER_DELAY, MAX_MESSAGE_LATENCY, RETRY_TIMEOUT, WAKE_SPREAD,
 };
-use crate::{CrashTracker, DistConfig, NodeState, RoundMetrics, MAX_QUERY_RETRIES, NO_CHOICE};
+use crate::{
+    DistConfig, MembershipTracker, NodeState, RoundMetrics, Transition, MAX_QUERY_RETRIES,
+    NO_CHOICE,
+};
 
 /// Number of time slots in a [`Calendar`] ring. A power of two, and
 /// strictly larger than the longest delay the protocol ever schedules
@@ -250,6 +275,20 @@ impl<E> Calendar<E> {
         }
     }
 
+    /// Removes and returns every pending entry, in no particular
+    /// order. Used when shard ownership is rebalanced: the drained
+    /// entries are re-pushed into their new owners' calendars, and
+    /// [`take_due`](Calendar::take_due) re-derives the deterministic
+    /// order from the intrinsic keys.
+    pub fn drain_all(&mut self) -> Vec<Entry<E>> {
+        let mut out = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            out.append(bucket);
+        }
+        self.len = 0;
+        out
+    }
+
     /// The earliest pending virtual time at or after `from`, scanning
     /// at most one ring rotation. `None` when the calendar is empty.
     pub fn next_time(&self, from: u64) -> Option<u64> {
@@ -283,7 +322,7 @@ fn node_stream_seed(root: u64, node: usize) -> u64 {
 /// The node an event is processed at — the shard-routing key.
 fn event_target(ev: &Event) -> u32 {
     match ev {
-        Event::Wake { node }
+        Event::Wake { node, .. }
         | Event::ReplyArrive { node, .. }
         | Event::Deliver { node }
         | Event::Timeout { node, .. } => *node,
@@ -291,54 +330,73 @@ fn event_target(ev: &Event) -> u32 {
     }
 }
 
-/// The balanced node→shard partition: the first `wide` lanes own
-/// `q + 1` contiguous nodes each, the rest own `q`, so exactly
-/// `min(shards, n)` lanes exist and lane sizes differ by at most one.
-#[derive(Debug, Clone, Copy)]
+/// The node→shard partition: lane `k` owns the contiguous node range
+/// `bounds[k]..bounds[k + 1]`. Boundaries are chosen to even out the
+/// *present* node count per lane (absent nodes cost nothing — they
+/// schedule no events) and move when membership churn shifts the
+/// load; the lane count itself is fixed at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct ShardMap {
-    /// Lanes holding `q + 1` nodes.
-    wide: usize,
-    /// First node id of the `q`-wide region (`wide * (q + 1)`).
-    split: usize,
-    /// Base nodes per lane.
-    q: usize,
+    /// `lanes + 1` monotone boundaries; `bounds[0] == 0` and
+    /// `bounds[lanes] == n`. A lane's range may be empty when fewer
+    /// present nodes exist than lanes.
+    bounds: Vec<u32>,
 }
 
 impl ShardMap {
-    fn new(n: usize, shards: usize) -> Self {
-        let shards = shards.clamp(1, n);
-        let q = n / shards;
-        let wide = n % shards;
-        ShardMap {
-            wide,
-            split: wide * (q + 1),
-            q,
+    /// The effective lane count for `shards` requested over `n` nodes.
+    fn lane_count(n: usize, shards: usize) -> usize {
+        shards.clamp(1, n)
+    }
+
+    /// A partition of `n` nodes into `lanes` ranges balanced by
+    /// *present* node count: lane `k` owns the present nodes with
+    /// presence-rank in `[⌈alive·k/lanes⌉, ⌈alive·(k+1)/lanes⌉)`, so
+    /// per-lane present loads differ by at most one. Trailing absent
+    /// nodes land in the last lane.
+    fn balanced(n: usize, lanes: usize, members: &MembershipTracker) -> Self {
+        debug_assert!(lanes >= 1 && lanes <= n.max(1));
+        let alive = (0..n).filter(|&i| members.is_present(i)).count();
+        let mut bounds = vec![0u32; lanes + 1];
+        bounds[lanes] = n as u32;
+        let mut prefix = 0usize; // present nodes among 0..idx
+        let mut k = 1usize;
+        for idx in 0..n {
+            while k < lanes && prefix >= (alive * k).div_ceil(lanes) {
+                bounds[k] = idx as u32;
+                k += 1;
+            }
+            if members.is_present(idx) {
+                prefix += 1;
+            }
         }
+        while k < lanes {
+            bounds[k] = n as u32;
+            k += 1;
+        }
+        ShardMap { bounds }
     }
 
-    /// Number of lanes in the partition of `n` nodes. (`q >= 1`
-    /// always: the constructor clamps the shard count to `n`.)
-    fn lanes(&self, n: usize) -> usize {
-        self.wide + (n - self.split) / self.q
+    /// Number of lanes in the partition.
+    fn lanes(&self) -> usize {
+        self.bounds.len() - 1
     }
 
-    /// The lane owning `node`.
+    /// The lane owning `node`: the last lane whose base is at or
+    /// below it. `O(log lanes)` over a handful of boundaries.
     #[inline]
     fn shard_of(&self, node: usize) -> usize {
-        if node < self.split {
-            node / (self.q + 1)
-        } else {
-            self.wide + (node - self.split) / self.q
-        }
+        self.bounds.partition_point(|&b| b as usize <= node) - 1
     }
 
     /// The first node id of `lane`.
     fn base_of(&self, lane: usize) -> usize {
-        if lane < self.wide {
-            lane * (self.q + 1)
-        } else {
-            self.split + (lane - self.wide) * self.q
-        }
+        self.bounds[lane] as usize
+    }
+
+    /// One past the last node id of `lane`.
+    fn end_of(&self, lane: usize) -> usize {
+        self.bounds[lane + 1] as usize
     }
 }
 
@@ -348,16 +406,18 @@ struct Ctx<'a> {
     mode: Mode,
     n: usize,
     m: usize,
-    /// The node→shard partition (owns event routing).
+    /// The node→shard partition (owns event routing). A per-tick
+    /// clone: rebalancing replaces the engine's map between ticks, so
+    /// the context pins the partition the whole tick routes through.
     map: ShardMap,
     mu: f64,
     drop_prob: f64,
-    has_crashes: bool,
+    has_faults: bool,
     queue_bound: usize,
-    /// The 1-based runtime round (the crash clock).
+    /// The 1-based runtime round (the membership clock).
     t: u64,
     rewards: &'a [bool],
-    crashes: &'a CrashTracker,
+    members: &'a MembershipTracker,
 }
 
 /// One shard: the full per-node state of a contiguous node range, its
@@ -376,6 +436,16 @@ struct ShardLane {
     inboxes: Vec<VecDeque<Msg>>,
     rngs: Vec<SmallRng>,
     seqs: Vec<u32>,
+    /// Per-node incarnation counters, bumped on every leave so a
+    /// wake-up scheduled in an earlier life dies on arrival (async
+    /// mode; quiesced epochs clear their schedule so the tag is
+    /// inert there).
+    incs: Vec<u32>,
+    /// Whether each node is bootstrapping — (re)joined and not yet
+    /// through its first epoch decision (async mode).
+    boot: Vec<bool>,
+    /// Number of set flags in `boot`, kept incrementally.
+    boot_count: u64,
     /// Commitment counts per option over this lane's nodes.
     counts: Vec<u64>,
     calendar: Calendar<Event>,
@@ -545,8 +615,10 @@ impl ShardLane {
         }
     }
 
-    /// Resets the lane for a fresh quiesced epoch and wakes its alive
-    /// nodes at per-node jittered times.
+    /// Resets the lane for a fresh quiesced epoch and wakes its
+    /// present nodes at per-node jittered times. A node that just
+    /// (re)joined has `back == NO_CHOICE` (absent epochs write
+    /// NO_CHOICE) and bootstraps through the ordinary query path.
     fn begin_epoch(&mut self, ctx: &Ctx<'_>) {
         std::mem::swap(&mut self.choices, &mut self.back);
         self.counts.fill(0);
@@ -556,12 +628,15 @@ impl ShardLane {
             self.choices[local] = NO_CHOICE;
             debug_assert!(self.inboxes[local].is_empty(), "previous epoch left mail");
             let node = self.base + local as u32;
-            if ctx.crashes.alive_in(node as usize, ctx.t) {
+            if ctx.members.is_present(node as usize) {
                 self.rm.alive += 1;
                 self.pending[local] = Pending::default();
                 let at = self.rngs[local].gen_range(0..WAKE_SPREAD);
-                self.push_from(node, at, Event::Wake { node }, ctx);
+                self.push_from(node, at, Event::Wake { node, inc: 0 }, ctx);
             } else {
+                // An absent node answers nothing: its snapshot slot is
+                // cleared so a query landing here finds no commitment.
+                self.back[local] = NO_CHOICE;
                 self.pending[local] = Pending {
                     attempt: 0,
                     resolved: true,
@@ -573,11 +648,11 @@ impl ShardLane {
     /// Handles one due quiesced-mode event.
     fn handle_q(&mut self, entry: Entry<Event>, now: u64, ctx: &Ctx<'_>) {
         match entry.payload {
-            Event::Wake { node } => {
+            Event::Wake { node, .. } => {
                 self.start_attempt_q((node - self.base) as usize, 1, now, ctx);
             }
             Event::QueryArrive { from, to, epoch } => {
-                if !ctx.has_crashes || ctx.crashes.alive_in(to as usize, ctx.t) {
+                if !ctx.has_faults || ctx.members.is_present(to as usize) {
                     self.enqueue(
                         (to - self.base) as usize,
                         Msg::Query { from, epoch },
@@ -612,6 +687,12 @@ impl ShardLane {
     fn decide_async(&mut self, local: usize, considered: u32, now: u64, ctx: &Ctx<'_>) {
         debug_assert!(!self.pending[local].resolved, "node resolved twice");
         self.pending[local].resolved = true;
+        if self.boot[local] {
+            // First epoch decision after a (re)join: the bootstrap is
+            // over, whatever stage 1 produced.
+            self.boot[local] = false;
+            self.boot_count -= 1;
+        }
         let adopt_p = ctx
             .params
             .adopt_probability(ctx.rewards[considered as usize]);
@@ -626,7 +707,15 @@ impl ShardLane {
         let cadence = self.last_wake[local] + ASYNC_EPOCH_PERIOD;
         let at = cadence.max(now + 1) + self.rngs[local].gen_range(0..ASYNC_WAKE_JITTER);
         let node = self.base + local as u32;
-        self.push_from(node, at, Event::Wake { node }, ctx);
+        self.push_from(
+            node,
+            at,
+            Event::Wake {
+                node,
+                inc: self.incs[local],
+            },
+            ctx,
+        );
     }
 
     /// Async query attempt with epoch-tagged timeout/query events.
@@ -724,16 +813,19 @@ impl ShardLane {
         bound: StalenessBound,
     ) {
         match entry.payload {
-            Event::Wake { node } => {
+            Event::Wake { node, inc } => {
                 let local = (node - self.base) as usize;
-                if ctx.crashes.alive_in(node as usize, ctx.t) {
+                // The incarnation tag kills wake-ups scheduled before
+                // a leave: they are the only events whose horizon
+                // outlives a one-round absence.
+                if ctx.members.is_present(node as usize) && inc == self.incs[local] {
                     self.pending[local] = Pending::default();
                     self.last_wake[local] = now;
                     self.start_attempt_async(local, 1, now, ctx);
                 }
             }
             Event::QueryArrive { from, to, epoch } => {
-                if ctx.crashes.alive_in(to as usize, ctx.t) {
+                if ctx.members.is_present(to as usize) {
                     self.enqueue(
                         (to - self.base) as usize,
                         Msg::Query { from, epoch },
@@ -743,13 +835,13 @@ impl ShardLane {
                 }
             }
             Event::ReplyArrive { node, option } => {
-                if ctx.crashes.alive_in(node as usize, ctx.t) {
+                if ctx.members.is_present(node as usize) {
                     self.enqueue((node - self.base) as usize, Msg::Reply { option }, now, ctx);
                 }
             }
             Event::Deliver { node } => {
                 let local = (node - self.base) as usize;
-                if ctx.crashes.alive_in(node as usize, ctx.t) {
+                if ctx.members.is_present(node as usize) {
                     self.deliver_async(local, now, ctx, bound);
                 } else {
                     // Keep deliveries 1:1 with enqueues even for the
@@ -763,7 +855,7 @@ impl ShardLane {
                 epoch,
             } => {
                 let local = (node - self.base) as usize;
-                if ctx.crashes.alive_in(node as usize, ctx.t) {
+                if ctx.members.is_present(node as usize) {
                     let p = self.pending[local];
                     if !p.resolved && p.attempt == attempt && self.epochs[local] + 1 == epoch {
                         self.start_attempt_async(local, attempt + 1, now, ctx);
@@ -806,25 +898,36 @@ pub(crate) struct ShardedEngine {
 }
 
 impl ShardedEngine {
-    /// Builds the engine: exactly `min(shards, n)` lanes over balanced
-    /// contiguous node ranges (sizes differ by at most one node), with
-    /// one RNG stream per node split from `seed`.
-    pub(crate) fn new(cfg: &DistConfig, seed: u64, shards: usize) -> Self {
+    /// Builds the engine: exactly `min(shards, n)` lanes over
+    /// contiguous node ranges balanced by round-1 presence, with one
+    /// RNG stream per node split from `seed`. Nodes outside the
+    /// initial fleet (join-scripted flash crowds) start with no
+    /// commitment.
+    pub(crate) fn new(
+        cfg: &DistConfig,
+        seed: u64,
+        shards: usize,
+        members: &MembershipTracker,
+    ) -> Self {
         let n = cfg.num_nodes();
         let m = cfg.params().num_options();
-        let map = ShardMap::new(n, shards);
-        let lane_count = map.lanes(n);
-        debug_assert_eq!(lane_count, shards.clamp(1, n));
+        let lane_count = ShardMap::lane_count(n, shards);
+        let map = ShardMap::balanced(n, lane_count, members);
+        debug_assert_eq!(map.lanes(), lane_count);
         let lanes = (0..lane_count)
             .map(|index| {
                 let base = map.base_of(index);
-                let len = map.base_of(index + 1).min(n) - base;
+                let len = map.end_of(index) - base;
                 let mut counts = vec![0u64; m];
                 let choices: Vec<NodeState> = (base..base + len)
                     .map(|i| {
-                        let c = crate::uniform_start_choice(i, m);
-                        counts[c as usize] += 1;
-                        c
+                        if members.in_initial_fleet(i) {
+                            let c = crate::uniform_start_choice(i, m);
+                            counts[c as usize] += 1;
+                            c
+                        } else {
+                            NO_CHOICE
+                        }
                     })
                     .collect();
                 ShardLane {
@@ -840,6 +943,9 @@ impl ShardedEngine {
                         .map(|local| SmallRng::seed_from_u64(node_stream_seed(seed, base + local)))
                         .collect(),
                     seqs: vec![0; len],
+                    incs: vec![0; len],
+                    boot: vec![false; len],
+                    boot_count: 0,
                     counts,
                     calendar: Calendar::new(),
                     outboxes: (0..lane_count).map(|_| Vec::new()).collect(),
@@ -866,14 +972,14 @@ impl ShardedEngine {
         lane.epochs[node - lane.base as usize]
     }
 
-    /// Max-minus-min completed local epoch over alive nodes.
-    pub(crate) fn epoch_spread(&self, crashes: &CrashTracker, t: u64) -> u64 {
+    /// Max-minus-min completed local epoch over present nodes.
+    pub(crate) fn epoch_spread(&self, members: &MembershipTracker) -> u64 {
         let mut lo = u64::MAX;
         let mut hi = 0u64;
         let mut any = false;
         for lane in &self.lanes {
             for (local, &e) in lane.epochs.iter().enumerate() {
-                if crashes.alive_in(lane.base as usize + local, t.max(1)) {
+                if members.is_present(lane.base as usize + local) {
                     any = true;
                     lo = lo.min(e);
                     hi = hi.max(e);
@@ -972,33 +1078,151 @@ impl ShardedEngine {
     }
 
     /// One tick under `mode`: a full epoch run to quiescence, or one
-    /// async epoch-period window of virtual time.
+    /// async epoch-period window of virtual time. A tick boundary
+    /// carrying membership transitions first rebalances shard
+    /// ownership to the new present-node load.
     pub(crate) fn tick(
         &mut self,
         mode: Mode,
         cfg: &DistConfig,
         queue_bound: usize,
-        crashes: &CrashTracker,
+        members: &MembershipTracker,
         t: u64,
         rewards: &[bool],
     ) -> RoundMetrics {
+        if !members.recent().is_empty() && self.lanes.len() > 1 {
+            self.rebalance(members, cfg.num_nodes());
+        }
         let ctx = Ctx {
             params: *cfg.params(),
             mode,
             n: cfg.num_nodes(),
             m: cfg.params().num_options(),
-            map: self.map,
+            map: self.map.clone(),
             mu: cfg.params().mu(),
             drop_prob: cfg.faults().drop_prob(),
-            has_crashes: crashes.any_scheduled(),
+            has_faults: members.any_scheduled(),
             queue_bound,
             t,
             rewards,
-            crashes,
+            members,
         };
         match mode {
             Mode::Quiesced => self.tick_quiesced(&ctx),
             Mode::Async(_) => self.tick_async(&ctx),
+        }
+    }
+
+    /// Recomputes lane boundaries to even out *present* nodes and
+    /// migrates each moving node's full state — commitment, inbox,
+    /// local epoch, RNG stream, incarnation, and pending calendar
+    /// entries — to its new owner. Runs only between ticks, where
+    /// cross-shard outboxes are provably empty, so nothing is in
+    /// flight mid-move; per-node RNG streams and intrinsic event keys
+    /// make the new partition produce byte-identical results.
+    fn rebalance(&mut self, members: &MembershipTracker, n: usize) {
+        let new_map = ShardMap::balanced(n, self.lanes.len(), members);
+        if new_map == self.map {
+            return;
+        }
+        let lane_count = self.lanes.len();
+        let m = self.lanes[0].counts.len();
+        let depth_watermark = self.max_queue_depth();
+        let mut entries: Vec<Entry<Event>> = Vec::new();
+        let mut choices = Vec::with_capacity(n);
+        let mut back = Vec::with_capacity(n);
+        let mut epochs = Vec::with_capacity(n);
+        let mut last_wake = Vec::with_capacity(n);
+        let mut pending = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        let mut rngs = Vec::with_capacity(n);
+        let mut seqs = Vec::with_capacity(n);
+        let mut incs = Vec::with_capacity(n);
+        let mut boot = Vec::with_capacity(n);
+        // Lanes own ascending contiguous ranges, so appending in lane
+        // order flattens back to global node order.
+        for mut lane in std::mem::take(&mut self.lanes) {
+            debug_assert!(
+                lane.outboxes.iter().all(Vec::is_empty),
+                "rebalance crossed a window with undelivered mail"
+            );
+            entries.append(&mut lane.calendar.drain_all());
+            choices.append(&mut lane.choices);
+            back.append(&mut lane.back);
+            epochs.append(&mut lane.epochs);
+            last_wake.append(&mut lane.last_wake);
+            pending.append(&mut lane.pending);
+            inboxes.append(&mut lane.inboxes);
+            rngs.append(&mut lane.rngs);
+            seqs.append(&mut lane.seqs);
+            incs.append(&mut lane.incs);
+            boot.append(&mut lane.boot);
+        }
+        let mut choices = choices.into_iter();
+        let mut back = back.into_iter();
+        let mut epochs = epochs.into_iter();
+        let mut last_wake = last_wake.into_iter();
+        let mut pending = pending.into_iter();
+        let mut inboxes = inboxes.into_iter();
+        let mut rngs = rngs.into_iter();
+        let mut seqs = seqs.into_iter();
+        let mut incs = incs.into_iter();
+        let mut boot = boot.into_iter();
+        self.lanes = (0..lane_count)
+            .map(|index| {
+                let base = new_map.base_of(index);
+                let len = new_map.end_of(index) - base;
+                let lane_choices: Vec<NodeState> = choices.by_ref().take(len).collect();
+                let mut counts = vec![0u64; m];
+                for &c in &lane_choices {
+                    if c != NO_CHOICE {
+                        counts[c as usize] += 1;
+                    }
+                }
+                let lane_boot: Vec<bool> = boot.by_ref().take(len).collect();
+                let boot_count = lane_boot.iter().filter(|&&b| b).count() as u64;
+                ShardLane {
+                    index,
+                    base: base as u32,
+                    choices: lane_choices,
+                    back: back.by_ref().take(len).collect(),
+                    epochs: epochs.by_ref().take(len).collect(),
+                    last_wake: last_wake.by_ref().take(len).collect(),
+                    pending: pending.by_ref().take(len).collect(),
+                    inboxes: inboxes.by_ref().take(len).collect(),
+                    rngs: rngs.by_ref().take(len).collect(),
+                    seqs: seqs.by_ref().take(len).collect(),
+                    incs: incs.by_ref().take(len).collect(),
+                    boot: lane_boot,
+                    boot_count,
+                    counts,
+                    calendar: Calendar::new(),
+                    outboxes: (0..lane_count).map(|_| Vec::new()).collect(),
+                    rm: RoundMetrics::default(),
+                    max_queue_depth: 0,
+                }
+            })
+            .collect();
+        // The depth gauge is an engine-wide high-water mark; park it
+        // on the first lane so `max_queue_depth()` keeps reporting it.
+        self.lanes[0].max_queue_depth = depth_watermark;
+        self.map = new_map;
+        for entry in entries {
+            let owner = self.map.shard_of(event_target(&entry.payload) as usize);
+            self.lanes[owner].calendar.push(entry);
+        }
+    }
+
+    /// Folds the tick's membership transitions into `rm`'s churn
+    /// counters.
+    fn count_churn(ctx: &Ctx<'_>, rm: &mut RoundMetrics) {
+        for &(_, kind) in ctx.members.recent() {
+            match kind {
+                Transition::Join => rm.joins += 1,
+                Transition::Leave => rm.leaves += 1,
+                Transition::Rejoin => rm.rejoins += 1,
+                Transition::Crash => {}
+            }
         }
     }
 
@@ -1019,8 +1243,12 @@ impl ShardedEngine {
                 .all(|lane| lane.pending.iter().all(|p| p.resolved)),
             "epoch ended with unresolved nodes"
         );
-        let rm = self.collect_rm(ctx.t);
-        debug_assert_eq!(rm.alive, ctx.crashes.alive(), "alive counter drifted");
+        let mut rm = self.collect_rm(ctx.t);
+        // With the quiescence barrier, every (re)join bootstraps and
+        // resolves within this very epoch: the gauge is the inflow.
+        Self::count_churn(ctx, &mut rm);
+        rm.bootstrapping = rm.joins + rm.rejoins;
+        debug_assert_eq!(rm.alive, ctx.members.alive(), "alive counter drifted");
         rm
     }
 
@@ -1030,15 +1258,53 @@ impl ShardedEngine {
         for lane in &mut self.lanes {
             lane.rm = RoundMetrics::default();
         }
-        // Newly-landed crashes leave the popularity counts; their
-        // pending events become inert.
-        if ctx.has_crashes {
-            for lane in &mut self.lanes {
-                for local in 0..lane.len() {
-                    if !ctx.crashes.alive_in(lane.base as usize + local, ctx.t)
-                        && lane.choices[local] != NO_CHOICE
-                    {
+        // Membership transitions land at the tick boundary, processed
+        // in node order — mirroring the single-heap async path, with
+        // the join wake jitter drawn from the joining node's own
+        // stream so the draw is shard-count invariant. A departing
+        // node's commitment leaves the popularity counts, its history
+        // and pending attempt are wiped, and a leave bumps its
+        // incarnation; a (re)joining node enters bootstrapping.
+        for &(node, kind) in ctx.members.recent() {
+            let lane = &mut self.lanes[self.map.shard_of(node as usize)];
+            let local = (node - lane.base) as usize;
+            match kind {
+                Transition::Leave | Transition::Crash => {
+                    if kind == Transition::Leave {
+                        lane.incs[local] = lane.incs[local].wrapping_add(1);
+                    }
+                    if lane.choices[local] != NO_CHOICE {
                         lane.set_commit(local, NO_CHOICE);
+                    }
+                    lane.back[local] = NO_CHOICE;
+                    lane.pending[local] = Pending {
+                        attempt: 0,
+                        resolved: true,
+                    };
+                    if lane.boot[local] {
+                        lane.boot[local] = false;
+                        lane.boot_count -= 1;
+                    }
+                }
+                Transition::Join | Transition::Rejoin => {
+                    if !lane.boot[local] {
+                        lane.boot[local] = true;
+                        lane.boot_count += 1;
+                    }
+                    // The t == 1 seeding loop below covers nodes
+                    // present from the start; later (re)joins schedule
+                    // their own boot wake here.
+                    if ctx.t > 1 {
+                        let at = self.async_clock + lane.rngs[local].gen_range(0..WAKE_SPREAD);
+                        lane.push_from(
+                            node,
+                            at,
+                            Event::Wake {
+                                node,
+                                inc: lane.incs[local],
+                            },
+                            ctx,
+                        );
                     }
                 }
             }
@@ -1048,9 +1314,17 @@ impl ShardedEngine {
             for lane in &mut self.lanes {
                 for local in 0..lane.len() {
                     let node = lane.base + local as u32;
-                    if ctx.crashes.alive_in(node as usize, ctx.t) {
+                    if ctx.members.is_present(node as usize) {
                         let at = lane.rngs[local].gen_range(0..WAKE_SPREAD);
-                        lane.push_from(node, at, Event::Wake { node }, ctx);
+                        lane.push_from(
+                            node,
+                            at,
+                            Event::Wake {
+                                node,
+                                inc: lane.incs[local],
+                            },
+                            ctx,
+                        );
                     }
                 }
             }
@@ -1066,7 +1340,9 @@ impl ShardedEngine {
         }
         self.async_clock = window_end;
         let mut rm = self.collect_rm(ctx.t);
-        rm.alive = ctx.crashes.alive();
+        rm.alive = ctx.members.alive();
+        Self::count_churn(ctx, &mut rm);
+        rm.bootstrapping = self.lanes.iter().map(|l| l.boot_count).sum();
         rm
     }
 }

@@ -6,12 +6,22 @@
 //! own latency jitter, and every node owns a **bounded FIFO inbox**:
 //! a message arriving at a full queue is dropped (backpressure), and a
 //! query that never produces a reply — lost on the link, addressed to
-//! a crashed or sat-out peer, or squeezed out of a queue — is
-//! recovered by a timeout-driven retry against a fresh peer, up to
+//! a crashed, departed, or sat-out peer, or squeezed out of a queue —
+//! is recovered by a timeout-driven retry against a fresh peer, up to
 //! [`MAX_QUERY_RETRIES`] attempts before the uniform fallback. This is
 //! the transport behavior a round-synchronous barrier hides, and the
 //! bridge toward fully asynchronous bounded-memory collaborative
 //! learning (Su–Zubeldia–Lynch, arXiv:1802.08159).
+//!
+//! Membership churn (scripted joins, leaves, and rejoins from the
+//! [`crate::FaultPlan`]) runs through the same machinery: an absent
+//! node receives nothing and answers nothing, and a (re)joining node
+//! enters *bootstrapping* — no commitment, no history — and adopts
+//! through the ordinary query/reply protocol. There is no state-
+//! transfer message type; [`crate::NODE_STATE_BYTES`] of state is
+//! cheaper to relearn than to ship. In fully-async mode a wake-up
+//! carries its node's *incarnation* so a wake scheduled before a leave
+//! cannot fire into the node's next life after a rejoin.
 //!
 //! In the default **epoch-quiesced** mode, each call to
 //! [`EventRuntime::tick`] is one *epoch*: alive nodes wake at jittered
@@ -59,8 +69,8 @@ use sociolearn_core::GroupDynamics;
 
 use crate::calendar::{SchedulerKind, ShardedEngine};
 use crate::{
-    CrashTracker, DistConfig, ExecutionModel, Metrics, NodeState, ProtocolRuntime, RoundMetrics,
-    MAX_QUERY_RETRIES, NO_CHOICE,
+    DistConfig, ExecutionModel, MembershipTracker, Metrics, NodeState, ProtocolRuntime,
+    RoundMetrics, Transition, MAX_QUERY_RETRIES, NO_CHOICE,
 };
 
 /// Default capacity of each node's FIFO inbox. Messages arriving at a
@@ -156,8 +166,14 @@ pub(crate) enum Mode {
 /// anything the simulations run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Event {
-    /// An alive node starts stage 1 of the protocol.
-    Wake { node: u32 },
+    /// An alive node starts stage 1 of the protocol. `inc` is the
+    /// node's incarnation at schedule time: async mode bumps a node's
+    /// incarnation when it leaves, so a wake-up scheduled before the
+    /// leave cannot fire into the rejoined node's next life (wake-ups
+    /// are the only event kind whose horizon outlives an absence —
+    /// everything else expires within one tick window). Quiesced mode
+    /// clears the schedule every tick, so the tag is inert there.
+    Wake { node: u32, inc: u32 },
     /// A query from `from` reaches `to`'s inbox (link loss already
     /// resolved at send time). `epoch` is the sender's local epoch at
     /// send time — the staleness reference in async mode, ignored in
@@ -275,8 +291,9 @@ pub struct EventRuntime {
     /// completed local epoch — so a responder can serve the snapshot
     /// nearest the epoch a query asks about.
     back: Vec<NodeState>,
-    /// Crash schedule + O(1) alive counter.
-    crashes: CrashTracker,
+    /// Crash + membership schedule with O(1) presence checks and an
+    /// O(1) alive counter.
+    members: MembershipTracker,
     /// Cached committed counts per option (this epoch in quiesced
     /// mode; the current commitments in async mode, maintained
     /// incrementally).
@@ -298,6 +315,16 @@ pub struct EventRuntime {
     inboxes: Vec<VecDeque<Msg>>,
     /// Per-node transport bookkeeping for the current epoch.
     pending: Vec<Pending>,
+    /// Per-node incarnation counters, bumped on every leave (async
+    /// mode; see [`Event::Wake`]). Scheduler state, not protocol
+    /// state.
+    incs: Vec<u32>,
+    /// Per-node bootstrapping flags (async mode): set when a node
+    /// (re)joins, cleared when its first epoch decision lands.
+    boot: Vec<bool>,
+    /// Number of `boot` flags currently set, so the per-tick gauge is
+    /// O(1).
+    boot_count: u64,
     /// Monotone sequence number for deterministic event tie-breaks.
     seq: u64,
     /// High-water mark of any inbox, across all epochs.
@@ -316,12 +343,22 @@ impl EventRuntime {
     pub fn new(cfg: DistConfig, seed: u64) -> Self {
         let m = cfg.params().num_options();
         let n = cfg.num_nodes();
-        let choices: Vec<NodeState> = (0..n).map(|i| crate::uniform_start_choice(i, m)).collect();
+        let members = MembershipTracker::new(cfg.faults(), n);
+        let choices: Vec<NodeState> = (0..n)
+            .map(|i| {
+                if members.in_initial_fleet(i) {
+                    crate::uniform_start_choice(i, m)
+                } else {
+                    NO_CHOICE
+                }
+            })
+            .collect();
         let mut counts = vec![0u64; m];
         for &c in &choices {
-            counts[c as usize] += 1;
+            if c != NO_CHOICE {
+                counts[c as usize] += 1;
+            }
         }
-        let crashes = CrashTracker::new(cfg.faults(), n);
         EventRuntime {
             queue_bound: DEFAULT_QUEUE_BOUND,
             mode: Mode::Quiesced,
@@ -330,7 +367,7 @@ impl EventRuntime {
             rng: SmallRng::seed_from_u64(seed),
             choices,
             back: vec![NO_CHOICE; n],
-            crashes,
+            members,
             counts,
             epochs: vec![0; n],
             last_wake: vec![0; n],
@@ -338,6 +375,9 @@ impl EventRuntime {
             heap: BinaryHeap::new(),
             inboxes: (0..n).map(|_| VecDeque::new()).collect(),
             pending: vec![Pending::default(); n],
+            incs: vec![0; n],
+            boot: vec![false; n],
+            boot_count: 0,
             seq: 0,
             max_queue_depth: 0,
             round: 0,
@@ -397,11 +437,22 @@ impl EventRuntime {
             SchedulerKind::SingleHeap => {
                 // Rebuild the (round-0) single-heap per-node state in
                 // case a sharded engine shrank it away below.
-                self.choices = (0..n).map(|i| crate::uniform_start_choice(i, m)).collect();
+                self.choices = (0..n)
+                    .map(|i| {
+                        if self.members.in_initial_fleet(i) {
+                            crate::uniform_start_choice(i, m)
+                        } else {
+                            NO_CHOICE
+                        }
+                    })
+                    .collect();
                 self.back = vec![NO_CHOICE; n];
                 self.epochs = vec![0; n];
                 self.last_wake = vec![0; n];
                 self.pending = vec![Pending::default(); n];
+                self.incs = vec![0; n];
+                self.boot = vec![false; n];
+                self.boot_count = 0;
                 self.inboxes = (0..n).map(|_| VecDeque::new()).collect();
                 None
             }
@@ -416,9 +467,17 @@ impl EventRuntime {
                 self.epochs = Vec::new();
                 self.last_wake = Vec::new();
                 self.pending = Vec::new();
+                self.incs = Vec::new();
+                self.boot = Vec::new();
+                self.boot_count = 0;
                 self.inboxes = Vec::new();
                 self.heap = BinaryHeap::new();
-                Some(Box::new(ShardedEngine::new(&self.cfg, self.seed, shards)))
+                Some(Box::new(ShardedEngine::new(
+                    &self.cfg,
+                    self.seed,
+                    shards,
+                    &self.members,
+                )))
             }
         };
         self
@@ -475,9 +534,10 @@ impl EventRuntime {
         &self.counts
     }
 
-    /// Number of nodes alive for the *next* epoch, in O(1).
+    /// Number of nodes present for the *next* epoch, in O(1). With
+    /// membership churn this can grow as well as shrink.
     pub fn alive_count(&self) -> usize {
-        self.crashes.alive()
+        self.members.alive()
     }
 
     /// The per-node inbox capacity.
@@ -528,15 +588,14 @@ impl EventRuntime {
         if !self.is_async() {
             return 0;
         }
-        let t = self.round;
         if let Some(engine) = &self.sharded {
-            return engine.epoch_spread(&self.crashes, t);
+            return engine.epoch_spread(&self.members);
         }
         let mut lo = u64::MAX;
         let mut hi = 0u64;
         let mut any = false;
         for (i, &e) in self.epochs.iter().enumerate() {
-            if self.crashes.alive_in(i, t.max(1)) {
+            if self.members.is_present(i) {
                 any = true;
                 lo = lo.min(e);
                 hi = hi.max(e);
@@ -732,13 +791,13 @@ impl EventRuntime {
             self.mode,
             &self.cfg,
             self.queue_bound,
-            &self.crashes,
+            &self.members,
             t,
             rewards,
         );
         engine.write_counts(&mut self.counts);
         self.max_queue_depth = self.max_queue_depth.max(engine.max_queue_depth());
-        self.crashes.advance_to(t + 1);
+        self.members.advance_to(t + 1);
         self.metrics.absorb(&rm);
         rm
     }
@@ -764,31 +823,55 @@ impl EventRuntime {
             inbox.clear();
         }
 
-        // Alive nodes wake at jittered times; dead nodes are resolved
-        // (and silent) from the start.
+        // Membership transitions land at the epoch boundary. With the
+        // barrier, every (re)join bootstraps and resolves within this
+        // very epoch, so the gauge is just the inflow.
+        for &(_, kind) in self.members.recent() {
+            match kind {
+                Transition::Join => rm.joins += 1,
+                Transition::Leave => rm.leaves += 1,
+                Transition::Rejoin => rm.rejoins += 1,
+                Transition::Crash => {}
+            }
+        }
+        rm.bootstrapping = rm.joins + rm.rejoins;
+
+        // Present nodes wake at jittered times; dead or departed nodes
+        // are resolved (and silent) from the start. A node that just
+        // (re)joined has `back == NO_CHOICE` (absent epochs write
+        // NO_CHOICE) and bootstraps through the ordinary query path.
         for i in 0..n {
             self.choices[i] = NO_CHOICE;
-            if self.crashes.alive_in(i, t) {
+            if self.members.is_present(i) {
                 rm.alive += 1;
                 self.pending[i] = Pending::default();
                 let at = self.rng.gen_range(0..WAKE_SPREAD);
-                self.push(at, Event::Wake { node: i as u32 });
+                self.push(
+                    at,
+                    Event::Wake {
+                        node: i as u32,
+                        inc: 0,
+                    },
+                );
             } else {
+                // An absent node answers nothing: its snapshot slot is
+                // cleared so a query landing here finds no commitment.
+                self.back[i] = NO_CHOICE;
                 self.pending[i] = Pending {
                     attempt: 0,
                     resolved: true,
                 };
             }
         }
-        debug_assert_eq!(rm.alive, self.crashes.alive(), "alive counter drifted");
+        debug_assert_eq!(rm.alive, self.members.alive(), "alive counter drifted");
 
         while let Some(Scheduled { at, ev, .. }) = self.heap.pop() {
             match ev {
-                Event::Wake { node } => self.start_attempt(node, 1, at, rewards, &mut rm),
+                Event::Wake { node, .. } => self.start_attempt(node, 1, at, rewards, &mut rm),
                 Event::QueryArrive { from, to, epoch } => {
-                    // A crashed peer swallows the query; the querier's
-                    // timeout drives the retry.
-                    if self.crashes.alive_in(to as usize, t) {
+                    // An absent peer (crashed or departed) swallows the
+                    // query; the querier's timeout drives the retry.
+                    if self.members.is_present(to as usize) {
                         self.enqueue(to, Msg::Query { from, epoch }, at, &mut rm);
                     }
                 }
@@ -813,7 +896,7 @@ impl EventRuntime {
             "epoch ended with unresolved nodes"
         );
 
-        self.crashes.advance_to(t + 1);
+        self.members.advance_to(t + 1);
         self.metrics.absorb(&rm);
         rm
     }
@@ -847,6 +930,12 @@ impl EventRuntime {
         let i = node as usize;
         debug_assert!(!self.pending[i].resolved, "node resolved twice");
         self.pending[i].resolved = true;
+        if self.boot[i] {
+            // First epoch decision after a (re)join: the bootstrap is
+            // over, whatever stage 1 produced.
+            self.boot[i] = false;
+            self.boot_count -= 1;
+        }
         let adopt_p = self
             .cfg
             .params()
@@ -868,7 +957,13 @@ impl EventRuntime {
         // retry storm passes).
         let cadence = self.last_wake[i] + ASYNC_EPOCH_PERIOD;
         let at = cadence.max(now + 1) + self.rng.gen_range(0..ASYNC_WAKE_JITTER);
-        self.push(at, Event::Wake { node });
+        self.push(
+            at,
+            Event::Wake {
+                node,
+                inc: self.incs[i],
+            },
+        );
     }
 
     /// Async counterpart of [`start_attempt`](EventRuntime::start_attempt):
@@ -1015,24 +1110,81 @@ impl EventRuntime {
             ..RoundMetrics::default()
         };
 
-        // Newly-landed crashes: a dead node's commitment leaves the
-        // popularity counts, and its pending events become inert.
-        if self.crashes.any_scheduled() {
-            for i in 0..n {
-                if !self.crashes.alive_in(i, t) && self.choices[i] != NO_CHOICE {
-                    self.set_commit(i, NO_CHOICE);
+        // Membership transitions land at the tick boundary, processed
+        // in node order (the tracker's timeline order) so every
+        // scheduler realizes the same sequence. A departing node's
+        // commitment leaves the popularity counts, its history and
+        // pending attempt are wiped (a rejoiner remembers nothing),
+        // and a leave bumps its incarnation so wake-ups scheduled in
+        // its old life die on arrival. A (re)joining node enters
+        // bootstrapping and gets a jittered boot wake-up; everything
+        // after that is the ordinary protocol.
+        if self.members.any_scheduled() && !self.members.recent().is_empty() {
+            let recent: Vec<(u32, Transition)> = self.members.recent().to_vec();
+            for &(node, kind) in &recent {
+                let i = node as usize;
+                match kind {
+                    Transition::Leave | Transition::Crash => {
+                        if kind == Transition::Leave {
+                            rm.leaves += 1;
+                            self.incs[i] = self.incs[i].wrapping_add(1);
+                        }
+                        if self.choices[i] != NO_CHOICE {
+                            self.set_commit(i, NO_CHOICE);
+                        }
+                        self.back[i] = NO_CHOICE;
+                        self.pending[i] = Pending {
+                            attempt: 0,
+                            resolved: true,
+                        };
+                        if self.boot[i] {
+                            self.boot[i] = false;
+                            self.boot_count -= 1;
+                        }
+                    }
+                    Transition::Join | Transition::Rejoin => {
+                        if kind == Transition::Join {
+                            rm.joins += 1;
+                        } else {
+                            rm.rejoins += 1;
+                        }
+                        if !self.boot[i] {
+                            self.boot[i] = true;
+                            self.boot_count += 1;
+                        }
+                        // The t == 1 seeding loop below covers nodes
+                        // present from the start; later (re)joins
+                        // schedule their own boot wake here.
+                        if t > 1 {
+                            let at = self.async_clock + self.rng.gen_range(0..WAKE_SPREAD);
+                            self.push(
+                                at,
+                                Event::Wake {
+                                    node,
+                                    inc: self.incs[i],
+                                },
+                            );
+                        }
+                    }
                 }
             }
         }
-        rm.alive = self.crashes.alive();
+        rm.alive = self.members.alive();
+        rm.bootstrapping = self.boot_count;
 
         // The very first tick seeds every node's epoch loop; from then
         // on each node perpetually re-schedules its own wake-ups.
         if t == 1 {
             for i in 0..n {
-                if self.crashes.alive_in(i, t) {
+                if self.members.is_present(i) {
                     let at = self.rng.gen_range(0..WAKE_SPREAD);
-                    self.push(at, Event::Wake { node: i as u32 });
+                    self.push(
+                        at,
+                        Event::Wake {
+                            node: i as u32,
+                            inc: self.incs[i],
+                        },
+                    );
                 }
             }
         }
@@ -1045,26 +1197,30 @@ impl EventRuntime {
         {
             let Scheduled { at, ev, .. } = self.heap.pop().expect("peeked entry");
             match ev {
-                Event::Wake { node } => {
+                Event::Wake { node, inc } => {
                     let i = node as usize;
-                    if self.crashes.alive_in(i, t) {
+                    // The incarnation tag kills wake-ups scheduled
+                    // before a leave: they are the only events whose
+                    // horizon (~WAKE_SPREAD + ASYNC_EPOCH_PERIOD)
+                    // outlives a one-round absence.
+                    if self.members.is_present(i) && inc == self.incs[i] {
                         self.pending[i] = Pending::default();
                         self.last_wake[i] = at;
                         self.start_attempt_async(node, 1, at, rewards, &mut rm);
                     }
                 }
                 Event::QueryArrive { from, to, epoch } => {
-                    if self.crashes.alive_in(to as usize, t) {
+                    if self.members.is_present(to as usize) {
                         self.enqueue(to, Msg::Query { from, epoch }, at, &mut rm);
                     }
                 }
                 Event::ReplyArrive { node, option } => {
-                    if self.crashes.alive_in(node as usize, t) {
+                    if self.members.is_present(node as usize) {
                         self.enqueue(node, Msg::Reply { option }, at, &mut rm);
                     }
                 }
                 Event::Deliver { node } => {
-                    if self.crashes.alive_in(node as usize, t) {
+                    if self.members.is_present(node as usize) {
                         self.deliver_async(node, at, rewards, &mut rm, bound);
                     } else {
                         // Keep deliveries 1:1 with enqueues even for
@@ -1078,7 +1234,7 @@ impl EventRuntime {
                     epoch,
                 } => {
                     let i = node as usize;
-                    if self.crashes.alive_in(i, t) {
+                    if self.members.is_present(i) {
                         let p = self.pending[i];
                         // The epoch tag rejects timeouts abandoned by
                         // an earlier local epoch.
@@ -1091,7 +1247,7 @@ impl EventRuntime {
         }
         self.async_clock = window_end;
 
-        self.crashes.advance_to(t + 1);
+        self.members.advance_to(t + 1);
         self.metrics.absorb(&rm);
         rm
     }
@@ -1750,5 +1906,199 @@ mod tests {
     fn reward_width_mismatch_rejected() {
         let mut net = EventRuntime::new(DistConfig::new(params(), 4), 1);
         net.tick(&[true]);
+    }
+
+    /// A kitchen-sink membership script: a restart, a crash, a region
+    /// blinking out, and a late flash crowd, over a 48-node fleet.
+    fn churn_faults() -> FaultPlan {
+        FaultPlan::with_drop_prob(0.2)
+            .unwrap()
+            .crash(7, 12)
+            .leave(3, 4)
+            .rejoin(3, 9)
+            .region_loss(20..28, 6, 14)
+            .flash_crowd(6, 10)
+    }
+
+    #[test]
+    fn quiesced_leave_and_rejoin_bootstrap_through_the_protocol() {
+        let faults = FaultPlan::none().leave(3, 4).rejoin(3, 9);
+        let mut net = EventRuntime::new(DistConfig::new(params(), 32).with_faults(faults), 21);
+        for t in 1..=12u64 {
+            let rm = net.tick(&[true, false]);
+            match t {
+                4 => {
+                    assert_eq!(rm.leaves, 1);
+                    assert_eq!(rm.alive, 31);
+                }
+                9 => {
+                    assert_eq!(rm.rejoins, 1);
+                    assert_eq!(rm.bootstrapping, 1);
+                    assert_eq!(rm.alive, 32);
+                }
+                _ => {
+                    assert_eq!(rm.leaves + rm.joins + rm.rejoins, 0);
+                    assert_eq!(rm.bootstrapping, 0);
+                }
+            }
+        }
+        let m = EventRuntime::metrics(&net);
+        assert_eq!((m.leaves, m.rejoins, m.joins), (1, 1, 0));
+        assert_eq!(net.alive_count(), 32);
+    }
+
+    #[test]
+    fn async_rejoiner_bootstraps_on_its_own_cadence() {
+        let faults = FaultPlan::none().leave(5, 3).rejoin(5, 8);
+        let mut net = EventRuntime::new(DistConfig::new(params(), 24).with_faults(faults), 23)
+            .with_async_epochs(StalenessBound::Unbounded);
+        let mut saw_boot = false;
+        for t in 1..=20u64 {
+            let rm = net.tick(&[true, false]);
+            if t == 3 {
+                assert_eq!(rm.leaves, 1);
+                assert_eq!(rm.alive, 23);
+            }
+            if t == 8 {
+                assert_eq!(rm.rejoins, 1);
+                assert_eq!(rm.alive, 24);
+            }
+            saw_boot |= rm.bootstrapping > 0;
+            if t > 10 {
+                assert_eq!(rm.bootstrapping, 0, "bootstrap never completed");
+            }
+        }
+        assert!(saw_boot, "the rejoin never showed in the gauge");
+        let m = EventRuntime::metrics(&net);
+        assert_eq!((m.leaves, m.rejoins), (1, 1));
+        // The rejoined node keeps making progress after bootstrap.
+        assert!(net.local_epoch(5) > 0);
+    }
+
+    #[test]
+    fn flash_crowd_nodes_join_the_sharded_distribution_late() {
+        let faults = FaultPlan::none().flash_crowd(6, 10);
+        let mut net = EventRuntime::new(DistConfig::new(params(), 48).with_faults(faults), 29)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 4 });
+        // Absent nodes hold no commitment before their join round.
+        assert_eq!(net.counts().iter().sum::<u64>(), 42);
+        assert_eq!(net.alive_count(), 42);
+        for t in 1..=12u64 {
+            let rm = net.tick(&[true, false]);
+            if t == 10 {
+                assert_eq!(rm.joins, 6);
+                assert_eq!(rm.bootstrapping, 6);
+            }
+            assert_eq!(rm.alive, if t < 10 { 42 } else { 48 });
+        }
+        assert_eq!(net.alive_count(), 48);
+    }
+
+    #[test]
+    fn sharded_churn_results_are_byte_identical_across_shard_counts() {
+        let kinds = [
+            SchedulerKind::ShardedCalendar { shards: 1 },
+            SchedulerKind::ShardedCalendar { shards: 2 },
+            SchedulerKind::ShardedCalendar { shards: 4 },
+            SchedulerKind::ShardedCalendar { shards: 8 },
+        ];
+        let make = || {
+            EventRuntime::new(
+                DistConfig::new(params(), 48).with_faults(churn_faults()),
+                17,
+            )
+        };
+        let runs = drive_kinds(make, &kinds, 30);
+        for run in &runs[1..] {
+            assert_eq!(
+                runs[0].0, run.0,
+                "distributions diverged across shard counts under churn"
+            );
+            assert_eq!(
+                runs[0].1, run.1,
+                "round metrics diverged across shard counts under churn"
+            );
+            assert_eq!(runs[0].2, run.2, "metrics diverged across shard counts");
+        }
+    }
+
+    #[test]
+    fn sharded_async_churn_results_are_byte_identical_across_shard_counts() {
+        let kinds = [
+            SchedulerKind::ShardedCalendar { shards: 1 },
+            SchedulerKind::ShardedCalendar { shards: 2 },
+            SchedulerKind::ShardedCalendar { shards: 4 },
+            SchedulerKind::ShardedCalendar { shards: 8 },
+        ];
+        let make = || {
+            EventRuntime::new(
+                DistConfig::new(params(), 48).with_faults(churn_faults()),
+                19,
+            )
+            .with_async_epochs(StalenessBound::Epochs(2))
+        };
+        let runs = drive_kinds(make, &kinds, 40);
+        for run in &runs[1..] {
+            assert_eq!(
+                runs[0].0, run.0,
+                "distributions diverged across shard counts under churn"
+            );
+            assert_eq!(
+                runs[0].1, run.1,
+                "round metrics diverged across shard counts under churn"
+            );
+            assert_eq!(runs[0].2, run.2, "metrics diverged across shard counts");
+        }
+    }
+
+    #[test]
+    fn rolling_restart_matches_between_schedulers_in_law_and_counters() {
+        // The two schedulers draw from different RNG streams, so only
+        // the deterministic membership arithmetic must agree exactly.
+        let run = |kind: SchedulerKind| {
+            let faults = FaultPlan::none().rolling_restart(8, 4);
+            let mut net = EventRuntime::new(DistConfig::new(params(), 32).with_faults(faults), 31)
+                .with_scheduler(kind);
+            let mut alive = Vec::new();
+            for _ in 0..24 {
+                alive.push(net.tick(&[true, false]).alive);
+            }
+            (alive, {
+                let m = EventRuntime::metrics(&net);
+                (m.leaves, m.rejoins, m.joins)
+            })
+        };
+        let single = run(SchedulerKind::SingleHeap);
+        let sharded = run(SchedulerKind::ShardedCalendar { shards: 4 });
+        assert_eq!(single, sharded);
+        assert_eq!(single.1, (32, 32, 0), "every node left and came back");
+        assert!(
+            *single.0.iter().min().unwrap() >= 24,
+            "too many down at once"
+        );
+    }
+
+    #[test]
+    fn churn_epoch_message_bound_holds() {
+        // Per quiesced epoch: at most MAX_QUERY_RETRIES queries per
+        // present node, and never more replies than queries.
+        for kind in [
+            SchedulerKind::SingleHeap,
+            SchedulerKind::ShardedCalendar { shards: 4 },
+        ] {
+            let mut net = EventRuntime::new(
+                DistConfig::new(params(), 48).with_faults(churn_faults()),
+                37,
+            )
+            .with_scheduler(kind);
+            for _ in 0..20 {
+                let rm = net.tick(&[true, false]);
+                let cap = 2 * MAX_QUERY_RETRIES as u64 * rm.alive as u64;
+                assert!(
+                    rm.queries_sent + rm.replies_received <= cap,
+                    "epoch message bound violated under churn ({kind})"
+                );
+            }
+        }
     }
 }

@@ -26,10 +26,17 @@
 //! clean network this process is the finite-population dynamics of
 //! [`sociolearn_core::FinitePopulation`] (the cross-crate equivalence
 //! tests check the two agree in law). Faults — message loss via
-//! [`FaultPlan::with_drop_prob`] and scheduled crashes via
-//! [`FaultPlan::crash`] — degrade the *copying* throughput and push
-//! nodes toward the uniform fallback: learning slows but stays
-//! well-defined.
+//! [`FaultPlan::with_drop_prob`], scheduled crashes via
+//! [`FaultPlan::crash`], and scripted *churn* (nodes joining, leaving,
+//! and rejoining via [`FaultPlan::join`] / [`FaultPlan::leave`] /
+//! [`FaultPlan::rejoin`] and the bulk builders
+//! [`FaultPlan::rolling_restart`], [`FaultPlan::flash_crowd`],
+//! [`FaultPlan::region_loss`]) — degrade the *copying* throughput and
+//! push nodes toward the uniform fallback: learning slows but stays
+//! well-defined. A node that joins or rejoins holds no commitment and
+//! bootstraps through the ordinary query/reply protocol — there is no
+//! state-transfer message type, because [`NODE_STATE_BYTES`] of state
+//! is cheaper to relearn than to ship.
 //!
 //! # Three execution models
 //!
@@ -154,11 +161,47 @@ impl std::fmt::Display for FaultPlanError {
 
 impl std::error::Error for FaultPlanError {}
 
-/// A deterministic schedule of injected faults: independent per-message
-/// loss and per-node crash rounds.
+/// One scripted membership transition kind. Internal: the public
+/// surface is the [`FaultPlan`] builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MembershipKind {
+    /// First appearance of a node that starts *outside* the fleet.
+    Join,
+    /// A graceful departure (distinct from a crash in the metrics).
+    Leave,
+    /// Re-entry of a node that previously left.
+    Rejoin,
+}
+
+/// A bulk membership pattern, resolved against the concrete fleet size
+/// when a runtime is built (the plan itself is size-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BulkChurn {
+    /// Restart the fleet batch by batch: batch `k` (nodes
+    /// `[k·batch, (k+1)·batch)`) leaves at round `2 + k·period` and
+    /// rejoins `max(period/2, 1)` rounds later.
+    RollingRestart {
+        /// Nodes per restart batch.
+        batch: usize,
+        /// Rounds between consecutive batch restarts.
+        period: u64,
+    },
+    /// The last `count` node ids start absent and all join at `round`.
+    FlashCrowd {
+        /// Nodes arriving at once.
+        count: usize,
+        /// The 1-based round they arrive.
+        round: u64,
+    },
+}
+
+/// A deterministic schedule of injected faults and membership churn:
+/// independent per-message loss, per-node crash rounds, and a scripted
+/// membership timeline (joins, leaves, rejoins).
 ///
 /// Built with [`FaultPlan::none`] or [`FaultPlan::with_drop_prob`] and
-/// extended with the [`crash`](FaultPlan::crash) builder:
+/// extended with the [`crash`](FaultPlan::crash) builder and the
+/// membership builders:
 ///
 /// ```
 /// use sociolearn_dist::FaultPlan;
@@ -167,14 +210,40 @@ impl std::error::Error for FaultPlanError {}
 /// assert_eq!(plan.drop_prob(), 0.25);
 /// assert_eq!(plan.crash_round(3), Some(100));
 /// assert_eq!(plan.crash_round(0), None);
+///
+/// // Churn: node 7 restarts, a region blinks out, late arrivals.
+/// let churn = FaultPlan::none()
+///     .leave(7, 40)
+///     .rejoin(7, 60)
+///     .region_loss(10..20, 80, 120)
+///     .flash_crowd(16, 200);
+/// assert!(churn.has_membership_events());
 /// # Ok::<(), sociolearn_dist::FaultPlanError>(())
 /// ```
+///
+/// Leaving is *graceful* shutdown, crashing is failure; both make the
+/// node answer nothing and drop it from the popularity distribution,
+/// but they are counted separately ([`RoundMetrics::leaves`] vs the
+/// alive count) and only a leave may be followed by a rejoin. A
+/// (re)joining node holds no commitment: it bootstraps through the
+/// ordinary query/reply protocol (uniform fallback after
+/// [`MAX_QUERY_RETRIES`]) — no new message types, no state transfer.
+///
+/// Scripts are validated when a runtime is built: conflicting or
+/// out-of-order transitions (rejoining a present node, leaving an
+/// absent one, events after a crash) panic with the offending node and
+/// round. Events for node ids beyond the fleet size are ignored, like
+/// out-of-range crashes.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     drop_prob: f64,
     /// `(node, round)` pairs; a node dies at the *start* of its crash
     /// round (the earliest round wins if scheduled twice).
     crashes: Vec<(usize, u64)>,
+    /// Explicit membership transitions: `(node, round, kind)`.
+    events: Vec<(usize, u64, MembershipKind)>,
+    /// Bulk churn patterns, resolved against `n` at runtime build.
+    bulk: Vec<BulkChurn>,
 }
 
 impl FaultPlan {
@@ -196,7 +265,7 @@ impl FaultPlan {
         }
         Ok(FaultPlan {
             drop_prob: p,
-            crashes: Vec::new(),
+            ..FaultPlan::default()
         })
     }
 
@@ -210,6 +279,113 @@ impl FaultPlan {
             entry.1 = entry.1.min(round);
         } else {
             self.crashes.push((node, round));
+        }
+        self
+    }
+
+    /// Schedules `node` to *start outside the fleet* and join at the
+    /// start of `round` (1-based). A joining node enters bootstrapping:
+    /// no commitment, adopting via the ordinary query protocol. A join
+    /// must be the node's first membership event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0` (membership rounds are 1-based).
+    pub fn join(mut self, node: usize, round: u64) -> Self {
+        assert!(round >= 1, "membership rounds are 1-based");
+        self.events.push((node, round, MembershipKind::Join));
+        self
+    }
+
+    /// Schedules `node` to leave gracefully at the start of `round`
+    /// (1-based). Departed nodes answer nothing and drop out of the
+    /// popularity distribution; unlike a crash, a leave is counted in
+    /// [`RoundMetrics::leaves`] and may be followed by a
+    /// [`rejoin`](FaultPlan::rejoin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0` (membership rounds are 1-based).
+    pub fn leave(mut self, node: usize, round: u64) -> Self {
+        assert!(round >= 1, "membership rounds are 1-based");
+        self.events.push((node, round, MembershipKind::Leave));
+        self
+    }
+
+    /// Schedules `node` to re-enter the fleet at the start of `round`
+    /// (1-based), after an earlier [`leave`](FaultPlan::leave). The
+    /// rejoined node remembers nothing — it bootstraps exactly like a
+    /// fresh join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0` (membership rounds are 1-based).
+    pub fn rejoin(mut self, node: usize, round: u64) -> Self {
+        assert!(round >= 1, "membership rounds are 1-based");
+        self.events.push((node, round, MembershipKind::Rejoin));
+        self
+    }
+
+    /// Bulk builder: a rolling restart sweeping the whole fleet batch
+    /// by batch. Batch `k` (nodes `[k·batch, (k+1)·batch)`, resolved
+    /// against the fleet size when a runtime is built) leaves at round
+    /// `2 + k·period` and rejoins `max(period/2, 1)` rounds later, so
+    /// at most one batch is down at a time whenever `period ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `period < 2` (a batch must have time
+    /// to come back before the next goes down).
+    pub fn rolling_restart(mut self, batch: usize, period: u64) -> Self {
+        assert!(batch > 0, "rolling restart batch must be non-empty");
+        assert!(
+            period >= 2,
+            "rolling restart period must be at least 2 rounds"
+        );
+        self.bulk.push(BulkChurn::RollingRestart { batch, period });
+        self
+    }
+
+    /// Bulk builder: a flash crowd. The last `count` node ids of the
+    /// fleet start *absent* and all join at the start of `round` —
+    /// `count` fresh bootstrapping nodes arriving at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `round == 0`; panics at runtime build
+    /// if `count` exceeds the fleet size.
+    pub fn flash_crowd(mut self, count: usize, round: u64) -> Self {
+        assert!(count > 0, "flash crowd must bring at least one node");
+        assert!(round >= 1, "membership rounds are 1-based");
+        self.bulk.push(BulkChurn::FlashCrowd { count, round });
+        self
+    }
+
+    /// Bulk builder: region loss. Every node in `range` leaves at the
+    /// start of `round` and rejoins at the start of `rejoin_round` —
+    /// a whole contiguous slice of the fleet blinking out and coming
+    /// back cold (bootstrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty, `round == 0`, or
+    /// `rejoin_round <= round`.
+    pub fn region_loss(
+        mut self,
+        range: std::ops::Range<usize>,
+        round: u64,
+        rejoin_round: u64,
+    ) -> Self {
+        assert!(!range.is_empty(), "region loss range must be non-empty");
+        assert!(round >= 1, "membership rounds are 1-based");
+        assert!(
+            rejoin_round > round,
+            "region must rejoin strictly after it leaves"
+        );
+        for node in range {
+            self.events.push((node, round, MembershipKind::Leave));
+            self.events
+                .push((node, rejoin_round, MembershipKind::Rejoin));
         }
         self
     }
@@ -232,9 +408,26 @@ impl FaultPlan {
         self.crashes.len()
     }
 
+    /// Whether the plan scripts any membership churn (explicit
+    /// join/leave/rejoin events or bulk patterns), beyond message loss
+    /// and crashes.
+    pub fn has_membership_events(&self) -> bool {
+        !self.events.is_empty() || !self.bulk.is_empty()
+    }
+
+    /// Number of explicit membership transitions scripted so far (bulk
+    /// patterns count once resolved against a concrete fleet, not
+    /// here).
+    pub fn num_membership_events(&self) -> usize {
+        self.events.len()
+    }
+
     /// Whether this plan injects no faults at all.
     pub fn is_inert(&self) -> bool {
-        self.drop_prob == 0.0 && self.crashes.is_empty()
+        self.drop_prob == 0.0
+            && self.crashes.is_empty()
+            && self.events.is_empty()
+            && self.bulk.is_empty()
     }
 }
 
@@ -313,6 +506,19 @@ pub struct RoundMetrics {
     /// epoch. Always 0 outside fully-async execution, and 0 in async
     /// execution when the bound is [`StalenessBound::Unbounded`].
     pub stale_replies: u64,
+    /// Nodes that joined the fleet for the first time this round.
+    pub joins: u64,
+    /// Nodes that left gracefully this round (crashes are *not*
+    /// counted here — they show up only as a shrinking `alive`).
+    pub leaves: u64,
+    /// Nodes that re-entered the fleet this round after a leave.
+    pub rejoins: u64,
+    /// Nodes currently bootstrapping: (re)joined but not yet through
+    /// their first commit/sit-out decision. A gauge, not a flow — in
+    /// barriered execution every bootstrap resolves within its round,
+    /// so this equals `joins + rejoins`; fully-async execution carries
+    /// bootstraps across rounds until the node's first epoch lands.
+    pub bootstrapping: u64,
 }
 
 /// Cumulative counters across all rounds of a [`Runtime`].
@@ -332,6 +538,12 @@ pub struct Metrics {
     pub queue_drops: u64,
     /// Total replies withheld as too stale (fully-async mode only).
     pub stale_replies: u64,
+    /// Total first-time joins.
+    pub joins: u64,
+    /// Total graceful leaves (crashes not included).
+    pub leaves: u64,
+    /// Total rejoins after a leave.
+    pub rejoins: u64,
 }
 
 impl Metrics {
@@ -356,6 +568,9 @@ impl Metrics {
             explorations: self.explorations - earlier.explorations,
             queue_drops: self.queue_drops - earlier.queue_drops,
             stale_replies: self.stale_replies - earlier.stale_replies,
+            joins: self.joins - earlier.joins,
+            leaves: self.leaves - earlier.leaves,
+            rejoins: self.rejoins - earlier.rejoins,
         }
     }
 
@@ -367,61 +582,230 @@ impl Metrics {
         self.explorations += rm.explorations;
         self.queue_drops += rm.queue_drops;
         self.stale_replies += rm.stale_replies;
+        self.joins += rm.joins;
+        self.leaves += rm.leaves;
+        self.rejoins += rm.rejoins;
     }
 }
 
-/// A [`FaultPlan`]'s crash schedule resolved against a concrete fleet,
-/// with a running alive counter so `alive_count` is O(1) instead of an
-/// O(N) rescan. Shared by both runtimes.
-#[derive(Debug, Clone)]
-pub(crate) struct CrashTracker {
-    /// Crash round per node, resolved from the fault plan.
-    crash_at: Vec<Option<u64>>,
-    /// Every scheduled crash round, sorted ascending.
-    crash_rounds: Vec<u64>,
-    /// Prefix of `crash_rounds` already subtracted from `alive`.
-    applied: usize,
-    /// Nodes alive in the round last passed to `advance_to`.
-    alive: usize,
+/// One resolved membership transition, as the runtimes see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Transition {
+    /// First appearance of a node that started absent.
+    Join,
+    /// Graceful departure.
+    Leave,
+    /// Re-entry after a leave.
+    Rejoin,
+    /// Failure: permanent, terminal for the node.
+    Crash,
 }
 
-impl CrashTracker {
+/// A [`FaultPlan`]'s crash *and membership* schedule resolved against
+/// a concrete fleet: one sorted timeline of transitions, a per-node
+/// presence bitmap so fault checks are O(1) (the old implementation
+/// rescanned the crash list per node per round), and a running alive
+/// counter so `alive_count` is O(1) instead of an O(N) rescan. Shared
+/// by all three execution models.
+#[derive(Debug, Clone)]
+pub(crate) struct MembershipTracker {
+    /// Every transition, sorted by `(round, node)`. Validated at
+    /// construction: per node, transitions must alternate presence
+    /// legally (join first and only first, leave from present, rejoin
+    /// from absent, crash from present and terminal).
+    timeline: Vec<(u64, u32, Transition)>,
+    /// Prefix of `timeline` already applied to `present`/`alive`.
+    applied: usize,
+    /// Whether each node is present in the round last advanced to.
+    present: Vec<bool>,
+    /// Whether each node is in the fleet *before round 1* (false only
+    /// for nodes whose first transition is a join).
+    init_present: Vec<bool>,
+    /// Nodes present in the round last passed to `advance_to`.
+    alive: usize,
+    /// The transitions applied by the most recent `advance_to` call,
+    /// in node order — what changed going into the current round.
+    recent: Vec<(u32, Transition)>,
+}
+
+impl MembershipTracker {
     pub(crate) fn new(faults: &FaultPlan, n: usize) -> Self {
-        let crash_at: Vec<Option<u64>> = (0..n).map(|i| faults.crash_round(i)).collect();
-        let mut crash_rounds: Vec<u64> = crash_at.iter().flatten().copied().collect();
-        crash_rounds.sort_unstable();
-        let mut tracker = CrashTracker {
-            crash_at,
-            crash_rounds,
+        // One pass over the plan's lists — O(C + E log E + n), not the
+        // old O(n·C) per-node rescan of the crash list.
+        let mut timeline: Vec<(u64, u32, Transition)> =
+            Vec::with_capacity(faults.crashes.len() + faults.events.len() + 2 * faults.bulk.len());
+        for &(node, round, kind) in &faults.events {
+            if node >= n {
+                continue;
+            }
+            let t = match kind {
+                MembershipKind::Join => Transition::Join,
+                MembershipKind::Leave => Transition::Leave,
+                MembershipKind::Rejoin => Transition::Rejoin,
+            };
+            timeline.push((round, node as u32, t));
+        }
+        for &(node, round) in &faults.crashes {
+            if node < n {
+                timeline.push((round, node as u32, Transition::Crash));
+            }
+        }
+        for &spec in &faults.bulk {
+            match spec {
+                BulkChurn::RollingRestart { batch, period } => {
+                    let gap = (period / 2).max(1);
+                    let mut k = 0u64;
+                    while (k as usize) * batch < n {
+                        let down = 2 + k * period;
+                        let lo = k as usize * batch;
+                        let hi = (lo + batch).min(n);
+                        for node in lo..hi {
+                            timeline.push((down, node as u32, Transition::Leave));
+                            timeline.push((down + gap, node as u32, Transition::Rejoin));
+                        }
+                        k += 1;
+                    }
+                }
+                BulkChurn::FlashCrowd { count, round } => {
+                    assert!(
+                        count <= n,
+                        "flash crowd of {count} exceeds the fleet size {n}"
+                    );
+                    for node in n - count..n {
+                        timeline.push((round, node as u32, Transition::Join));
+                    }
+                }
+            }
+        }
+        timeline.sort_unstable_by_key(|&(round, node, _)| (round, node));
+
+        // Validate by replaying each node's own history; a node whose
+        // first transition is a join starts outside the fleet.
+        let mut init_present = vec![true; n];
+        let mut by_node = timeline.clone();
+        by_node.sort_unstable_by_key(|&(round, node, _)| (node, round));
+        let mut i = 0;
+        while i < by_node.len() {
+            let node = by_node[i].1;
+            let start = i;
+            while i < by_node.len() && by_node[i].1 == node {
+                i += 1;
+            }
+            let history = &by_node[start..i];
+            for pair in history.windows(2) {
+                assert!(
+                    pair[0].0 != pair[1].0,
+                    "conflicting membership transitions for node {node} at round {}",
+                    pair[0].0
+                );
+            }
+            let joins_first = history[0].2 == Transition::Join;
+            init_present[node as usize] = !joins_first;
+            let mut here = !joins_first;
+            for (idx, &(round, _, kind)) in history.iter().enumerate() {
+                match kind {
+                    Transition::Join => {
+                        assert!(
+                            idx == 0,
+                            "join must be node {node}'s first transition \
+                             (round {round}: use rejoin to re-enter)"
+                        );
+                        here = true;
+                    }
+                    Transition::Rejoin => {
+                        assert!(
+                            !here,
+                            "node {node} cannot rejoin at round {round}: already present"
+                        );
+                        here = true;
+                    }
+                    Transition::Leave => {
+                        assert!(
+                            here,
+                            "node {node} cannot leave at round {round}: already absent"
+                        );
+                        here = false;
+                    }
+                    Transition::Crash => {
+                        assert!(
+                            here,
+                            "node {node} cannot crash at round {round}: it is absent"
+                        );
+                        assert!(
+                            idx == history.len() - 1,
+                            "node {node} has transitions scheduled after its crash \
+                             at round {round}"
+                        );
+                        here = false;
+                    }
+                }
+            }
+        }
+
+        let alive = init_present.iter().filter(|&&p| p).count();
+        let mut tracker = MembershipTracker {
+            timeline,
             applied: 0,
-            alive: n,
+            present: init_present.clone(),
+            init_present,
+            alive,
+            recent: Vec::new(),
         };
         tracker.advance_to(1);
         tracker
     }
 
-    /// Whether `node` is alive during `round` (1-based).
-    pub(crate) fn alive_in(&self, node: usize, round: u64) -> bool {
-        self.crash_at[node].is_none_or(|r| round < r)
+    /// Whether `node` is present (alive and in the fleet) in the round
+    /// last advanced to. O(1).
+    pub(crate) fn is_present(&self, node: usize) -> bool {
+        self.present[node]
     }
 
-    /// Whether any crash is scheduled at all. Lets the hot loops skip
-    /// the per-node `crash_at` lookups (a cache miss per random peer
-    /// at fleet scale) on the common crash-free plans.
+    /// Whether `node` belongs to the fleet before round 1 — i.e.
+    /// should receive the uniform start commitment. False only for
+    /// join-scripted nodes (flash crowds, late arrivals).
+    pub(crate) fn in_initial_fleet(&self, node: usize) -> bool {
+        self.init_present[node]
+    }
+
+    /// Whether any transition is scheduled at all. Lets the hot loops
+    /// skip the per-node presence lookups (a cache miss per random
+    /// peer at fleet scale) on the common fault-free plans.
     pub(crate) fn any_scheduled(&self) -> bool {
-        !self.crash_rounds.is_empty()
+        !self.timeline.is_empty()
     }
 
-    /// Rolls the counter forward so [`alive`](Self::alive) reports the
-    /// population of `round`. Rounds must advance monotonically.
+    /// Rolls the tracker forward so presence and
+    /// [`alive`](Self::alive) describe `round`, recording what changed
+    /// in [`recent`](Self::recent). Rounds must advance monotonically.
     pub(crate) fn advance_to(&mut self, round: u64) {
-        while self.applied < self.crash_rounds.len() && self.crash_rounds[self.applied] <= round {
+        self.recent.clear();
+        while self.applied < self.timeline.len() && self.timeline[self.applied].0 <= round {
+            let (_, node, kind) = self.timeline[self.applied];
             self.applied += 1;
-            self.alive -= 1;
+            match kind {
+                Transition::Join | Transition::Rejoin => {
+                    debug_assert!(!self.present[node as usize]);
+                    self.present[node as usize] = true;
+                    self.alive += 1;
+                }
+                Transition::Leave | Transition::Crash => {
+                    debug_assert!(self.present[node as usize]);
+                    self.present[node as usize] = false;
+                    self.alive -= 1;
+                }
+            }
+            self.recent.push((node, kind));
         }
     }
 
-    /// Nodes alive in the round last advanced to, in O(1).
+    /// The transitions that took effect entering the current round
+    /// (the round last advanced to), in node order.
+    pub(crate) fn recent(&self) -> &[(u32, Transition)] {
+        &self.recent
+    }
+
+    /// Nodes present in the round last advanced to, in O(1).
     pub(crate) fn alive(&self) -> usize {
         self.alive
     }
@@ -454,8 +838,9 @@ pub struct Runtime {
     /// (what peers answer queries from) while `choices` is rewritten
     /// in place.
     back: Vec<NodeState>,
-    /// Crash schedule + O(1) alive counter.
-    crashes: CrashTracker,
+    /// Crash + membership schedule with O(1) presence checks and an
+    /// O(1) alive counter.
+    members: MembershipTracker,
     /// Cached committed counts per option over alive nodes.
     counts: Vec<u64>,
     /// Rounds completed.
@@ -465,22 +850,33 @@ pub struct Runtime {
 
 impl Runtime {
     /// Boots a fleet from the uniform initialization (node `i` starts
-    /// committed to option `i mod m`, matching the in-memory dynamics)
-    /// with all randomness derived from `seed`.
+    /// committed to option `i mod m`, matching the in-memory dynamics;
+    /// join-scripted nodes start outside the fleet, uncommitted) with
+    /// all randomness derived from `seed`.
     pub fn new(cfg: DistConfig, seed: u64) -> Self {
         let m = cfg.params.num_options();
         let n = cfg.n;
-        let choices: Vec<NodeState> = (0..n).map(|i| uniform_start_choice(i, m)).collect();
+        let members = MembershipTracker::new(&cfg.faults, n);
+        let choices: Vec<NodeState> = (0..n)
+            .map(|i| {
+                if members.in_initial_fleet(i) {
+                    uniform_start_choice(i, m)
+                } else {
+                    NO_CHOICE
+                }
+            })
+            .collect();
         let mut counts = vec![0u64; m];
         for &c in &choices {
-            counts[c as usize] += 1;
+            if c != NO_CHOICE {
+                counts[c as usize] += 1;
+            }
         }
-        let crashes = CrashTracker::new(&cfg.faults, n);
         Runtime {
             rng: SmallRng::seed_from_u64(seed),
             choices,
             back: vec![NO_CHOICE; n],
-            crashes,
+            members,
             counts,
             round: 0,
             metrics: Metrics::default(),
@@ -539,13 +935,29 @@ impl Runtime {
         // The queryable snapshot: last round's commitments land in
         // `back` by a pointer swap, and `choices` (now holding the
         // stale buffer from two rounds ago) is overwritten in place.
-        // Nodes that are dead *this* round no longer answer queries.
+        // Nodes dead or departed *this* round no longer answer
+        // queries; (re)joining nodes have `back == NO_CHOICE` (absent
+        // rounds write NO_CHOICE below) so they bootstrap through the
+        // ordinary query path starting this round.
         std::mem::swap(&mut self.choices, &mut self.back);
         self.counts.fill(0);
-        let has_crashes = self.crashes.any_scheduled();
+        let has_events = self.members.any_scheduled();
+        if has_events {
+            for &(_, kind) in self.members.recent() {
+                match kind {
+                    Transition::Join => rm.joins += 1,
+                    Transition::Leave => rm.leaves += 1,
+                    Transition::Rejoin => rm.rejoins += 1,
+                    Transition::Crash => {}
+                }
+            }
+            // A global barrier resolves every bootstrap within its
+            // first round, so the gauge is just this round's inflow.
+            rm.bootstrapping = rm.joins + rm.rejoins;
+        }
 
         for i in 0..n {
-            if has_crashes && !self.crashes.alive_in(i, t) {
+            if has_events && !self.members.is_present(i) {
                 self.choices[i] = NO_CHOICE;
                 continue;
             }
@@ -570,9 +982,10 @@ impl Runtime {
                         if drop_prob > 0.0 && self.rng.gen_bool(drop_prob) {
                             continue;
                         }
-                        // ...reach a peer that is alive and has
-                        // something to report...
-                        if has_crashes && !self.crashes.alive_in(peer, t) {
+                        // ...reach a peer that is present and has
+                        // something to report (absent peers — crashed
+                        // or departed — answer nothing)...
+                        if has_events && !self.members.is_present(peer) {
                             continue;
                         }
                         let option = self.back[peer];
@@ -611,8 +1024,8 @@ impl Runtime {
             }
         }
 
-        debug_assert_eq!(rm.alive, self.crashes.alive(), "alive counter drifted");
-        self.crashes.advance_to(t + 1);
+        debug_assert_eq!(rm.alive, self.members.alive(), "alive counter drifted");
+        self.members.advance_to(t + 1);
         self.metrics.absorb(&rm);
         rm
     }
@@ -622,10 +1035,12 @@ impl Runtime {
         &self.counts
     }
 
-    /// Number of nodes alive for the *next* round, in O(1) (a running
-    /// counter maintained as scheduled crashes take effect).
+    /// Number of nodes present for the *next* round, in O(1) (a
+    /// running counter maintained as scheduled crashes and membership
+    /// transitions take effect — with churn this can grow as well as
+    /// shrink).
     pub fn alive_count(&self) -> usize {
-        self.crashes.alive()
+        self.members.alive()
     }
 }
 
@@ -705,7 +1120,7 @@ impl std::fmt::Display for ExecutionModel {
 /// [`Runtime`] and the event-driven [`EventRuntime`] (epoch-quiesced
 /// or fully-async) interchangeably: step the protocol with fresh
 /// rewards, read the per-round and cumulative counters, and watch the
-/// fleet shrink as crashes land.
+/// fleet shrink and grow as crashes and membership churn land.
 ///
 /// Both implementors also implement
 /// [`GroupDynamics`] (a supertrait
@@ -933,6 +1348,119 @@ mod tests {
         net.round(&[true, false]);
         net.round(&[true, false]); // next round is 5: third crash lands
         assert_eq!(net.alive_count(), 3);
+    }
+
+    #[test]
+    fn leave_and_rejoin_track_alive_and_counters() {
+        let faults = FaultPlan::none().leave(0, 3).leave(1, 3).rejoin(0, 6);
+        let mut net = Runtime::new(DistConfig::new(params(), 8).with_faults(faults), 5);
+        assert_eq!(net.alive_count(), 8);
+        let rm = net.round(&[true, true]); // round 1
+        assert_eq!((rm.joins, rm.leaves, rm.rejoins), (0, 0, 0));
+        net.round(&[true, true]); // round 2: next round is 3
+        assert_eq!(net.alive_count(), 6);
+        let rm = net.round(&[true, true]); // round 3
+        assert_eq!(rm.alive, 6);
+        assert_eq!(rm.leaves, 2);
+        net.round(&[true, true]); // round 4
+        net.round(&[true, true]); // round 5: next round is 6
+        assert_eq!(net.alive_count(), 7, "alive count grows back on rejoin");
+        let rm = net.round(&[true, true]); // round 6
+        assert_eq!(rm.alive, 7);
+        assert_eq!(rm.rejoins, 1);
+        assert_eq!(rm.bootstrapping, 1);
+        let m = net.metrics();
+        assert_eq!((m.joins, m.leaves, m.rejoins), (0, 2, 1));
+    }
+
+    #[test]
+    fn flash_crowd_nodes_start_absent_and_bootstrap() {
+        let faults = FaultPlan::none().flash_crowd(4, 5);
+        let mut net = Runtime::new(DistConfig::new(params(), 12).with_faults(faults), 6);
+        // The crowd has not arrived: 8 resident nodes committed.
+        assert_eq!(net.counts().iter().sum::<u64>(), 8);
+        assert_eq!(net.alive_count(), 8);
+        for _ in 0..4 {
+            net.round(&[true, true]);
+        }
+        assert_eq!(net.alive_count(), 12, "crowd lands for round 5");
+        let rm = net.round(&[true, true]);
+        assert_eq!(rm.alive, 12);
+        assert_eq!(rm.joins, 4);
+        assert_eq!(rm.bootstrapping, 4);
+    }
+
+    #[test]
+    fn departed_nodes_answer_nothing() {
+        // All peers but node 0 leave; node 0's queries can only go
+        // unanswered, so every non-exploration round falls back.
+        let params = Params::new(2, 0.9).unwrap();
+        let mut faults = FaultPlan::none();
+        for i in 1..10 {
+            faults = faults.leave(i, 1);
+        }
+        let mut net = Runtime::new(DistConfig::new(params, 10).with_faults(faults), 3);
+        for _ in 0..20 {
+            let rm = net.round(&[true, true]);
+            assert_eq!(rm.alive, 1);
+        }
+        assert_eq!(net.metrics().replies_received, 0);
+    }
+
+    #[test]
+    fn rolling_restart_keeps_most_of_the_fleet_up() {
+        let faults = FaultPlan::none().rolling_restart(4, 6);
+        let mut net = Runtime::new(DistConfig::new(params(), 16).with_faults(faults), 9);
+        let mut min_alive = usize::MAX;
+        for _ in 0..40 {
+            let rm = net.round(&[true, false]);
+            min_alive = min_alive.min(rm.alive);
+        }
+        assert_eq!(min_alive, 12, "exactly one 4-node batch down at a time");
+        assert_eq!(net.alive_count(), 16, "everyone is back at the end");
+        let m = net.metrics();
+        assert_eq!(m.leaves, 16);
+        assert_eq!(m.rejoins, 16);
+    }
+
+    #[test]
+    fn region_loss_blinks_a_slice_out_and_back() {
+        let faults = FaultPlan::none().region_loss(2..6, 4, 9);
+        let mut net = Runtime::new(DistConfig::new(params(), 10).with_faults(faults), 2);
+        for t in 1..=12u64 {
+            let rm = net.round(&[true, true]);
+            let expect = if (4..9).contains(&t) { 6 } else { 10 };
+            assert_eq!(rm.alive, expect, "round {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rejoin")]
+    fn rejoin_of_present_node_rejected() {
+        let faults = FaultPlan::none().rejoin(0, 5);
+        Runtime::new(DistConfig::new(params(), 4).with_faults(faults), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting membership")]
+    fn conflicting_same_round_transitions_rejected() {
+        let faults = FaultPlan::none().leave(2, 5).crash(2, 5);
+        Runtime::new(DistConfig::new(params(), 4).with_faults(faults), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "after its crash")]
+    fn transitions_after_crash_rejected() {
+        let faults = FaultPlan::none().crash(1, 3).leave(1, 8);
+        Runtime::new(DistConfig::new(params(), 4).with_faults(faults), 1);
+    }
+
+    #[test]
+    fn membership_events_for_out_of_range_nodes_are_ignored() {
+        let faults = FaultPlan::none().leave(99, 2).flash_crowd(2, 3);
+        let mut net = Runtime::new(DistConfig::new(params(), 8).with_faults(faults), 4);
+        net.round(&[true, true]);
+        assert_eq!(net.alive_count(), 6, "only the in-range crowd gap");
     }
 
     #[test]

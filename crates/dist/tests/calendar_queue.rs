@@ -157,6 +157,27 @@ fn run_observables(
     (rms, dists, EventRuntime::metrics(&net))
 }
 
+/// Builds a conflict-free membership script from raw proptest tuples:
+/// the last `flash` ids arrive late as a flash crowd, and each churn
+/// tuple becomes a leave→rejoin pair on a distinct stable node.
+fn churn_plan(n: usize, drop_prob: f64, flash: usize, churn: &[(usize, u64, u64)]) -> FaultPlan {
+    let flash = flash.min(n.saturating_sub(2));
+    let mut plan = FaultPlan::with_drop_prob(drop_prob).expect("valid drop prob");
+    if flash > 0 {
+        plan = plan.flash_crowd(flash, 4);
+    }
+    let stable = n - flash;
+    let mut used = std::collections::HashSet::new();
+    for &(node, round, gap) in churn {
+        let node = node % stable;
+        if !used.insert(node) {
+            continue;
+        }
+        plan = plan.leave(node, round).rejoin(node, round + gap);
+    }
+    plan
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -193,6 +214,40 @@ proptest! {
         for shards in [2usize, 4] {
             let run = run_observables(
                 params, n, faults.clone(), seed, bound,
+                SchedulerKind::ShardedCalendar { shards }, ticks,
+            );
+            prop_assert_eq!(&reference.0, &run.0, "round metrics diverged at {} shards", shards);
+            prop_assert_eq!(&reference.1, &run.1, "distributions diverged at {} shards", shards);
+            prop_assert_eq!(&reference.2, &run.2, "metrics diverged at {} shards", shards);
+        }
+    }
+
+    /// Byte-identity survives active membership scripts: random
+    /// join/leave/rejoin schedules force online shard rebalancing at
+    /// window boundaries, and the results must still match across
+    /// shard counts {1, 2, 4} in both quiesced and async modes.
+    #[test]
+    fn sharded_churn_runs_are_identical_across_shard_counts(
+        seed in any::<u64>(),
+        n in 4usize..60,
+        m in 2usize..4,
+        drop_prob in 0.0f64..0.5,
+        flash in 0usize..5,
+        churn in proptest::collection::vec((0usize..1000, 1u64..12, 1u64..6), 1..8),
+        // 0 = epoch-quiesced; 1..=2 = async Epochs(k - 1).
+        mode_sel in 0u64..3,
+        ticks in 5u64..25,
+    ) {
+        let params = Params::new(m, 0.7).expect("valid params");
+        let plan = churn_plan(n, drop_prob, flash, &churn);
+        let bound = (mode_sel > 0).then(|| StalenessBound::Epochs(mode_sel - 1));
+        let reference = run_observables(
+            params, n, plan.clone(), seed, bound,
+            SchedulerKind::ShardedCalendar { shards: 1 }, ticks,
+        );
+        for shards in [2usize, 4] {
+            let run = run_observables(
+                params, n, plan.clone(), seed, bound,
                 SchedulerKind::ShardedCalendar { shards }, ticks,
             );
             prop_assert_eq!(&reference.0, &run.0, "round metrics diverged at {} shards", shards);

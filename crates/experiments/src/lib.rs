@@ -38,6 +38,7 @@ mod exp14_ef_reduction;
 mod exp15_distributed;
 mod exp16_nonuniform_start;
 mod exp17_async_staleness;
+mod exp19_churn;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -234,6 +235,14 @@ pub fn registry() -> Vec<Experiment> {
             claim: "without the quiescence barrier the fleet still converges; staleness and loss cost time, not the limit",
             run: exp17_async_staleness::run,
         },
+        // E18 is reserved for the changing-worlds sweep (ROADMAP:
+        // drifting/switching best options at fleet scale).
+        Experiment {
+            id: "E19",
+            title: "Churn and elastic membership: re-convergence under membership scripts",
+            claim: "join/leave/rejoin scripts cost re-convergence time, not the limit; (re)joiners bootstrap via the existing query protocol",
+            run: exp19_churn::run,
+        },
     ]
 }
 
@@ -280,9 +289,18 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 17);
-        for (i, e) in reg.iter().enumerate() {
-            assert_eq!(e.id, format!("E{}", i + 1));
+        assert_eq!(reg.len(), 18);
+        // Ids are unique and strictly increasing ("E18" is reserved
+        // for the changing-worlds sweep, so the sequence may gap).
+        let nums: Vec<u64> = reg
+            .iter()
+            .map(|e| e.id[1..].parse().expect("numeric id"))
+            .collect();
+        for pair in nums.windows(2) {
+            assert!(pair[0] < pair[1], "registry ids out of order: {nums:?}");
+        }
+        for e in &reg {
+            assert!(e.id.starts_with('E'));
             assert!(!e.title.is_empty());
             assert!(!e.claim.is_empty());
         }

@@ -26,6 +26,18 @@
 //! 2. adopts the considered option with probability `β` on a good
 //!    signal and `α` on a bad one, else sits out.
 //!
+//! ## Membership churn
+//!
+//! Agents can [`depart`](NetworkPopulation::depart) and
+//! [`arrive`](NetworkPopulation::arrive) between steps (rolling
+//! restarts, flash crowds, region loss). Neighbor sets rewire
+//! *incrementally*: a departed agent's commitment is cleared, so the
+//! committed-neighbor sampling above skips it with no graph rebuild —
+//! its edges stay in the CSR and simply stop mattering. An arriving
+//! agent enters uncommitted and bootstraps the same way every agent
+//! learns: by copying committed neighbors (or the uniform fallback if
+//! it has none).
+//!
 //! # Example
 //!
 //! ```
@@ -75,6 +87,9 @@ pub struct NetworkPopulation {
     /// Committed option per agent after the latest step (`None` = sat
     /// out).
     choices: Vec<Option<u32>>,
+    /// Whether each agent is currently in the population; departed
+    /// agents neither step nor get copied.
+    present: Vec<bool>,
     counts: Vec<u64>,
     steps: u64,
 }
@@ -107,14 +122,61 @@ impl NetworkPopulation {
             assert!((*c as usize) < m, "option index {c} out of range");
             counts[*c as usize] += 1;
         }
+        let n = choices.len();
         NetworkPopulation {
             params,
             graph,
             rule: SamplingRule::default(),
             choices,
+            present: vec![true; n],
             counts,
             steps: 0,
         }
+    }
+
+    /// Removes agent `v` from the population: its commitment is
+    /// cleared so neighbors stop copying it from the next step on, and
+    /// it no longer steps. Idempotent. The graph is untouched — the
+    /// rewiring is incremental, through the committed-neighbor filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn depart(&mut self, v: usize) {
+        assert!(v < self.choices.len(), "agent out of range");
+        if !self.present[v] {
+            return;
+        }
+        self.present[v] = false;
+        if let Some(c) = self.choices[v].take() {
+            self.counts[c as usize] -= 1;
+        }
+    }
+
+    /// (Re)adds agent `v` to the population. It enters uncommitted and
+    /// bootstraps like any agent: copying committed neighbors, or the
+    /// uniform fallback if none are. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn arrive(&mut self, v: usize) {
+        assert!(v < self.choices.len(), "agent out of range");
+        self.present[v] = true;
+    }
+
+    /// Whether agent `v` is currently in the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_present(&self, v: usize) -> bool {
+        self.present[v]
+    }
+
+    /// Number of agents currently in the population.
+    pub fn num_present(&self) -> usize {
+        self.present.iter().filter(|&&p| p).count()
     }
 
     /// Switches the neighbor-sampling rule.
@@ -220,6 +282,12 @@ impl GroupDynamics for NetworkPopulation {
         let prev = self.choices.clone();
         let mut counts = vec![0u64; m];
         for (v, choice) in self.choices.iter_mut().enumerate() {
+            // Departed agents neither sample nor commit; their `None`
+            // in `prev` already keeps neighbors from copying them.
+            if !self.present[v] {
+                debug_assert!(choice.is_none(), "departed agent kept a commitment");
+                continue;
+            }
             // Stage 1: neighbor-restricted sampling, uniform among the
             // neighbors who committed last step. Rejection sampling
             // with a capped retry count stays exactly uniform because
@@ -436,6 +504,53 @@ mod tests {
     #[should_panic(expected = "one choice per graph node")]
     fn from_choices_length_checked() {
         NetworkPopulation::from_choices(params(2), topology::star(3), vec![Some(0)]);
+    }
+
+    #[test]
+    fn departed_agents_rewire_neighbor_sampling_incrementally() {
+        let g = topology::star(4); // center 0, leaves 1..3
+        let choices = vec![Some(0), Some(1), Some(1), Some(1)];
+        let mut pop = NetworkPopulation::from_choices(params(2), g, choices);
+        assert_eq!(pop.num_present(), 4);
+        pop.depart(0);
+        pop.depart(0); // idempotent
+        assert!(!pop.is_present(0));
+        assert_eq!(pop.num_present(), 3);
+        // The departed center's commitment left the counts...
+        assert_eq!(pop.share_committed(0), 0.0);
+        // ...and the leaves now see no committed neighbor at all: the
+        // graph still holds the edges, the filter rewired around them.
+        assert_eq!(pop.local_distribution(1), vec![0.5, 0.5]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10 {
+            pop.step(&[true, true], &mut rng);
+            assert!(pop.choices()[0].is_none(), "departed agent committed");
+        }
+    }
+
+    #[test]
+    fn arrivals_bootstrap_by_copying_neighbors() {
+        let g = topology::complete(40);
+        let mut pop = NetworkPopulation::new(params(2), g);
+        for v in 30..40 {
+            pop.depart(v);
+        }
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..20 {
+            pop.step(&[true, false], &mut rng);
+        }
+        for v in 30..40 {
+            pop.arrive(v);
+        }
+        assert_eq!(pop.num_present(), 40);
+        // Fresh arrivals hold nothing until they step...
+        assert!((30..40).all(|v| pop.choices()[v].is_none()));
+        for _ in 0..30 {
+            pop.step(&[true, false], &mut rng);
+        }
+        // ...then learn the dominant option from their neighbors.
+        let adopted = (30..40).filter(|&v| pop.choices()[v] == Some(0)).count();
+        assert!(adopted >= 5, "only {adopted}/10 arrivals learned option 0");
     }
 }
 

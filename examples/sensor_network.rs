@@ -1,7 +1,8 @@
 //! The conclusion's engineering suggestion, run end to end: a fleet of
 //! low-power sensor nodes picks the best of several radio channels
 //! using the social-learning protocol as a distributed, O(1)-memory
-//! MWU — under message loss and node crashes, on **all three**
+//! MWU — under message loss, node crashes, and membership churn
+//! (rolling restarts, flash crowds), on **all three**
 //! execution models: round-synchronous gossip, the epoch-quiesced
 //! event scheduler (latency jitter, bounded inboxes, timeout
 //! retries), and fully-async overlapping epochs where each sensor
@@ -80,6 +81,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             f
         }),
+        // Churn scenarios: nodes leave and come back (or arrive cold),
+        // bootstrapping through the ordinary query/reply protocol.
+        (
+            "rolling restart (batches of 64, every 8 rounds)",
+            FaultPlan::none().rolling_restart(64, 8),
+        ),
+        (
+            "flash crowd: 128 cold sensors join at round 100",
+            FaultPlan::none().flash_crowd(128, 100),
+        ),
     ];
 
     for (label, fault) in conditions {

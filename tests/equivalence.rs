@@ -374,6 +374,52 @@ fn sharded_calendar_matches_single_heap_async_bound_two() {
 }
 
 #[test]
+fn rolling_restart_cohort_matches_crash_free_reference_in_law() {
+    // The churn-equivalence anchor: a rolling restart wipes every
+    // node's commitment batch by batch, but each batch re-bootstraps
+    // through the ordinary query/reply protocol — an unbiased copy of
+    // the surviving cohort's popularity distribution. Once the last
+    // batch is back, the dynamics must re-converge to the same law as
+    // a deployment that never restarted at all.
+    use sociolearn::dist::FaultPlan;
+    let m = 2;
+    let n = 400;
+    let steps = 22;
+    let params = Params::new(m, 0.65).unwrap();
+    let reps = 200u64;
+
+    // Four batches of 100 leave at rounds 2, 5, 8, 11 and rejoin one
+    // round later; the fleet is whole again well before measurement.
+    let restarted: Vec<f64> = (0..reps)
+        .map(|i| {
+            let plan = FaultPlan::default().rolling_restart(100, 3);
+            final_share(
+                Runtime::new(DistConfig::new(params, n).with_faults(plan), 1_030_000 + i),
+                steps,
+                m,
+                103_000 + i,
+            )
+        })
+        .collect();
+    let crash_free: Vec<f64> = (0..reps)
+        .map(|i| {
+            final_share(
+                Runtime::new(DistConfig::new(params, n), 1_050_000 + i),
+                steps,
+                m,
+                105_000 + i,
+            )
+        })
+        .collect();
+
+    let ks = ks_two_sample(&restarted, &crash_free);
+    assert!(
+        ks.accepts_at(0.001),
+        "rolling restart vs crash-free reference differ in law: {ks:?}"
+    );
+}
+
+#[test]
 fn all_forms_converge_to_same_steady_share() {
     let m = 2;
     let n = 2_000;

@@ -13,7 +13,7 @@ fn ctx(tag: &str) -> ExpContext {
 #[test]
 fn registry_covers_all_paper_claims() {
     let reg = registry();
-    assert_eq!(reg.len(), 17);
+    assert_eq!(reg.len(), 18);
     // Spot-check that the headline theorems are represented.
     let titles: Vec<&str> = reg.iter().map(|e| e.title).collect();
     assert!(titles.iter().any(|t| t.contains("Theorem 4.3")));
@@ -45,7 +45,7 @@ fn mechanism_experiments_pass() {
 #[test]
 fn extension_experiments_pass() {
     let ctx = ctx("extension");
-    for id in ["E11", "E15", "E17"] {
+    for id in ["E11", "E15", "E17", "E19"] {
         let report = run_by_id(id, &ctx).expect("experiment runs");
         assert!(report.pass, "{id} failed:\n{}", report.render());
     }

@@ -11,7 +11,9 @@ use sociolearn::core::{
     AgentPopulation, AliasTable, FinitePopulation, GroupDynamics, InfiniteDynamics, Params,
     StochasticMwu,
 };
-use sociolearn::dist::{DistConfig, EventRuntime, FaultPlan, Runtime, StalenessBound};
+use sociolearn::dist::{
+    DistConfig, EventRuntime, FaultPlan, RoundMetrics, Runtime, SchedulerKind, StalenessBound,
+};
 use sociolearn::stats::Summary;
 
 /// Strategy: valid model parameters (alpha <= beta enforced).
@@ -25,6 +27,84 @@ fn params_strategy() -> impl Strategy<Value = Params> {
 /// Strategy: a reward sequence of the given width.
 fn rewards_strategy(m: usize, steps: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {
     proptest::collection::vec(proptest::collection::vec(any::<bool>(), m), steps)
+}
+
+/// Build a conflict-free membership script: optional flash-crowd joins
+/// on the last `flash` ids, plus leave→rejoin pairs on distinct stable
+/// nodes drawn from the raw churn tuples.
+fn membership_plan(
+    n: usize,
+    drop: f64,
+    flash: usize,
+    churn: &[(usize, u64, u64)],
+) -> (FaultPlan, usize) {
+    let flash = flash.min(n.saturating_sub(2));
+    let mut fault = FaultPlan::with_drop_prob(drop).expect("valid drop prob");
+    if flash > 0 {
+        fault = fault.flash_crowd(flash, 3);
+    }
+    let stable = n - flash;
+    let mut used = std::collections::HashSet::new();
+    for &(node, round, gap) in churn {
+        let node = node % stable;
+        if !used.insert(node) {
+            continue;
+        }
+        fault = fault.leave(node, round).rejoin(node, round + gap);
+    }
+    (fault, n - flash)
+}
+
+/// Drive one runtime through `steps` rounds and check the
+/// membership-aware invariants: `alive` follows exact conservation
+/// (previous alive + joins + rejoins − leaves — it may now *increase*),
+/// commits never exceed the live population, and the bootstrapping
+/// gauge stays within it. Returns the cumulative (joins, leaves,
+/// rejoins) flow so callers can compare runtimes against each other.
+fn check_membership_run<F: FnMut(&[bool]) -> RoundMetrics>(
+    mut step: F,
+    initial_alive: usize,
+    n: usize,
+    m: usize,
+    steps: usize,
+    seed: u64,
+    barriered: bool,
+) -> Result<(u64, u64, u64), TestCaseError> {
+    let mut reward_rng = SmallRng::seed_from_u64(seed ^ 0xC0DE);
+    let mut expected = initial_alive;
+    let mut totals = (0u64, 0u64, 0u64);
+    for _ in 0..steps {
+        let rewards: Vec<bool> = (0..m)
+            .map(|_| rand::Rng::gen_bool(&mut reward_rng, 0.5))
+            .collect();
+        let rm = step(&rewards);
+        expected = expected + rm.joins as usize + rm.rejoins as usize - rm.leaves as usize;
+        prop_assert_eq!(
+            rm.alive,
+            expected,
+            "round {}: alive must equal previous alive + joins + rejoins - leaves",
+            rm.round
+        );
+        prop_assert!(rm.alive <= n);
+        prop_assert!(rm.bootstrapping <= rm.alive as u64);
+        if barriered {
+            prop_assert!(rm.committed <= rm.alive);
+            // Barriered execution resolves every bootstrap within its
+            // round, so the gauge equals the inbound flow.
+            prop_assert_eq!(rm.bootstrapping, rm.joins + rm.rejoins);
+        } else {
+            // Async ticks may land several catch-up epochs at once, so
+            // commits are bounded by resolved stage-1 outcomes instead
+            // of the instantaneous population.
+            prop_assert!(
+                (rm.committed as u64) <= rm.explorations + rm.fallbacks + rm.replies_received
+            );
+        }
+        totals.0 += rm.joins;
+        totals.1 += rm.leaves;
+        totals.2 += rm.rejoins;
+    }
+    Ok(totals)
 }
 
 proptest! {
@@ -432,6 +512,54 @@ proptest! {
         let (db, mb) = run(seed);
         prop_assert_eq!(da, db, "same seed must reproduce the trajectory");
         prop_assert_eq!(ma, mb, "same seed must reproduce the message counters");
+    }
+
+    #[test]
+    fn membership_script_conservation_across_runtimes(
+        seed in any::<u64>(),
+        m in 2usize..5,
+        n in 4usize..48,
+        steps in 1usize..14,
+        drop in 0.0f64..=0.6,
+        flash in 0usize..4,
+        churn in proptest::collection::vec((0usize..1000, 1u64..10, 1u64..5), 0..6),
+    ) {
+        let params = Params::new(m, 0.65).expect("valid");
+        let (fault, initial_alive) = membership_plan(n, drop, flash, &churn);
+        let cfg = DistConfig::new(params, n).with_faults(fault);
+
+        // Round-synchronous reference.
+        let mut sync = Runtime::new(cfg.clone(), seed);
+        let t_sync = check_membership_run(
+            |r| sync.round(r), initial_alive, n, m, steps, seed, true,
+        )?;
+        // Quiesced event-driven runtime, single-heap scheduler.
+        let mut ev = EventRuntime::new(cfg.clone(), seed);
+        let t_ev = check_membership_run(
+            |r| ev.tick(r), initial_alive, n, m, steps, seed, true,
+        )?;
+        // Quiesced event-driven runtime, sharded-calendar scheduler.
+        let mut sh = EventRuntime::new(cfg.clone(), seed)
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards: 3 });
+        let t_sh = check_membership_run(
+            |r| sh.tick(r), initial_alive, n, m, steps, seed, true,
+        )?;
+        // Fully-async execution: bootstraps may straddle rounds, so
+        // only the gauge bound applies, not the barriered identity.
+        let mut async_ev = EventRuntime::new(cfg, seed)
+            .with_async_epochs(StalenessBound::Epochs(2));
+        let t_async = check_membership_run(
+            |r| async_ev.tick(r), initial_alive, n, m, steps, seed, false,
+        )?;
+
+        // The script is data, not chance: every execution model must
+        // observe the exact same membership flows.
+        prop_assert_eq!(t_sync, t_ev);
+        prop_assert_eq!(t_sync, t_sh);
+        prop_assert_eq!(t_sync, t_async);
+        // Cumulative metrics agree with the per-round flows.
+        let totals = sync.metrics();
+        prop_assert_eq!((totals.joins, totals.leaves, totals.rejoins), t_sync);
     }
 
     #[test]

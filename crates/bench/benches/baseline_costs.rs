@@ -3,6 +3,8 @@
 //! the collective social step costs O(m) regardless of N, while an
 //! N-agent bandit group pays O(N·m) and stores O(N·m) statistics.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -11,6 +11,8 @@
 //! compares a fresh report against in CI). Set `BENCH_DIST_JSON` to
 //! redirect the report, or to `skip` to suppress it.
 
+#![forbid(unsafe_code)]
+
 use criterion::{BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -3,6 +3,8 @@
 //! run, and one message-passing round — so `cargo bench` also times
 //! the table-generation machinery itself.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

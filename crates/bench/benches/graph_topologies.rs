@@ -1,6 +1,8 @@
 //! Topology-generation and network-dynamics step costs backing the
 //! E11 experiment's scalability notes.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -8,6 +8,8 @@
 //! The complete graph is deliberately absent: its O(N²) edge list is
 //! the scaling wall the sparse topologies exist to avoid.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -16,6 +16,8 @@
 //! a fresh report against in CI). Set `BENCH_SAMPLERS_JSON` to
 //! redirect the report, or to `skip` to suppress it.
 
+#![forbid(unsafe_code)]
+
 use criterion::{BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -2,6 +2,8 @@
 //! "collective form is O(m), per-agent form is O(N)" claim, and the
 //! scalability story for the infinite dynamics in `m`.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

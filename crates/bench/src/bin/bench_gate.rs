@@ -24,6 +24,8 @@
 //! bench on a quiet machine and copy the report over the baseline:
 //! see README § "Benchmarks and the perf-regression gate".
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

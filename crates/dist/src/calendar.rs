@@ -78,6 +78,7 @@ use rand::{Rng, SeedableRng};
 use sociolearn_core::Params;
 use sociolearn_sim::parallel_map;
 
+use crate::cast::index_u32;
 use crate::event::{
     Event, Mode, Msg, Pending, StalenessBound, ASYNC_EPOCH_PERIOD, ASYNC_WAKE_JITTER,
     DELIVER_DELAY, MAX_MESSAGE_LATENCY, RETRY_TIMEOUT, WAKE_SPREAD,
@@ -358,12 +359,12 @@ impl ShardMap {
         debug_assert!(lanes >= 1 && lanes <= n.max(1));
         let alive = (0..n).filter(|&i| members.is_present(i)).count();
         let mut bounds = vec![0u32; lanes + 1];
-        bounds[lanes] = n as u32;
+        bounds[lanes] = index_u32(n);
         let mut prefix = 0usize; // present nodes among 0..idx
         let mut k = 1usize;
         for idx in 0..n {
             while k < lanes && prefix >= (alive * k).div_ceil(lanes) {
-                bounds[k] = idx as u32;
+                bounds[k] = index_u32(idx);
                 k += 1;
             }
             if members.is_present(idx) {
@@ -371,7 +372,7 @@ impl ShardMap {
             }
         }
         while k < lanes {
-            bounds[k] = n as u32;
+            bounds[k] = index_u32(n);
             k += 1;
         }
         ShardMap { bounds }
@@ -419,6 +420,20 @@ struct Ctx<'a> {
     rewards: &'a [bool],
     members: &'a MembershipTracker,
 }
+
+/// Per-node protocol state a [`ShardLane`] owns — the same inventory
+/// as the single-heap engine (commitment, one-slot history, local
+/// epoch) plus the per-source sequence counter and incarnation tag
+/// that give the sharded engine its intrinsic `(time, src, seq)`
+/// total order. Still a constant footprint: rebalancing hands these
+/// across lanes, it never grows them.
+pub(crate) const SHARD_LANE_NODE_STATE_BYTES: usize = 2 * std::mem::size_of::<NodeState>()
+    + std::mem::size_of::<u64>()
+    + 2 * std::mem::size_of::<u32>();
+
+// Compile-time bounded-memory budget for the sharded engine,
+// mirroring `EVENT_NODE_STATE_BYTES` in `event.rs`.
+const _: () = assert!(SHARD_LANE_NODE_STATE_BYTES <= 6 * crate::NODE_STATE_BYTES);
 
 /// One shard: the full per-node state of a contiguous node range, its
 /// calendar, and one outbound mailbox per peer shard.
@@ -503,7 +518,7 @@ impl ShardLane {
         }
         inbox.push_back(msg);
         self.max_queue_depth = self.max_queue_depth.max(inbox.len());
-        let node = self.base + local as u32;
+        let node = self.base + index_u32(local);
         self.push_from(node, now + DELIVER_DELAY, Event::Deliver { node }, ctx);
     }
 
@@ -546,16 +561,16 @@ impl ShardLane {
     /// Quiesced query attempt (or µ-exploration on attempt 1, or the
     /// uniform fallback once the retry budget is spent).
     fn start_attempt_q(&mut self, local: usize, attempt: u32, now: u64, ctx: &Ctx<'_>) {
-        let node = self.base + local as u32;
+        let node = self.base + index_u32(local);
         if attempt == 1 && self.rngs[local].gen_bool(ctx.mu) {
             self.rm.explorations += 1;
-            let considered = self.rngs[local].gen_range(0..ctx.m) as u32;
+            let considered = index_u32(self.rngs[local].gen_range(0..ctx.m));
             self.decide_q(local, considered, ctx);
             return;
         }
         if attempt > MAX_QUERY_RETRIES || ctx.n == 1 {
             self.rm.fallbacks += 1;
-            let considered = self.rngs[local].gen_range(0..ctx.m) as u32;
+            let considered = index_u32(self.rngs[local].gen_range(0..ctx.m));
             self.decide_q(local, considered, ctx);
             return;
         }
@@ -583,7 +598,7 @@ impl ShardLane {
                 at,
                 Event::QueryArrive {
                     from: node,
-                    to: peer as u32,
+                    to: index_u32(peer),
                     epoch: 0,
                 },
                 ctx,
@@ -601,7 +616,7 @@ impl ShardLane {
                 let option = self.back[local];
                 if option != NO_CHOICE && !self.link_drops(local, ctx) {
                     let at = now + self.latency(local);
-                    let node = self.base + local as u32;
+                    let node = self.base + index_u32(local);
                     self.push_from(node, at, Event::ReplyArrive { node: from, option }, ctx);
                 }
             }
@@ -627,7 +642,7 @@ impl ShardLane {
         for local in 0..self.len() {
             self.choices[local] = NO_CHOICE;
             debug_assert!(self.inboxes[local].is_empty(), "previous epoch left mail");
-            let node = self.base + local as u32;
+            let node = self.base + index_u32(local);
             if ctx.members.is_present(node as usize) {
                 self.rm.alive += 1;
                 self.pending[local] = Pending::default();
@@ -706,7 +721,7 @@ impl ShardLane {
         self.epochs[local] += 1;
         let cadence = self.last_wake[local] + ASYNC_EPOCH_PERIOD;
         let at = cadence.max(now + 1) + self.rngs[local].gen_range(0..ASYNC_WAKE_JITTER);
-        let node = self.base + local as u32;
+        let node = self.base + index_u32(local);
         self.push_from(
             node,
             at,
@@ -720,16 +735,16 @@ impl ShardLane {
 
     /// Async query attempt with epoch-tagged timeout/query events.
     fn start_attempt_async(&mut self, local: usize, attempt: u32, now: u64, ctx: &Ctx<'_>) {
-        let node = self.base + local as u32;
+        let node = self.base + index_u32(local);
         if attempt == 1 && self.rngs[local].gen_bool(ctx.mu) {
             self.rm.explorations += 1;
-            let considered = self.rngs[local].gen_range(0..ctx.m) as u32;
+            let considered = index_u32(self.rngs[local].gen_range(0..ctx.m));
             self.decide_async(local, considered, now, ctx);
             return;
         }
         if attempt > MAX_QUERY_RETRIES || ctx.n == 1 {
             self.rm.fallbacks += 1;
-            let considered = self.rngs[local].gen_range(0..ctx.m) as u32;
+            let considered = index_u32(self.rngs[local].gen_range(0..ctx.m));
             self.decide_async(local, considered, now, ctx);
             return;
         }
@@ -758,7 +773,7 @@ impl ShardLane {
                 at,
                 Event::QueryArrive {
                     from: node,
-                    to: peer as u32,
+                    to: index_u32(peer),
                     epoch,
                 },
                 ctx,
@@ -790,7 +805,7 @@ impl ShardLane {
                 }
                 if !self.link_drops(local, ctx) {
                     let at = now + self.latency(local);
-                    let node = self.base + local as u32;
+                    let node = self.base + index_u32(local);
                     self.push_from(node, at, Event::ReplyArrive { node: from, option }, ctx);
                 }
             }
@@ -932,7 +947,7 @@ impl ShardedEngine {
                     .collect();
                 ShardLane {
                     index,
-                    base: base as u32,
+                    base: index_u32(base),
                     choices,
                     back: vec![NO_CHOICE; len],
                     epochs: vec![0; len],
@@ -1183,7 +1198,7 @@ impl ShardedEngine {
                 let boot_count = lane_boot.iter().filter(|&&b| b).count() as u64;
                 ShardLane {
                     index,
-                    base: base as u32,
+                    base: index_u32(base),
                     choices: lane_choices,
                     back: back.by_ref().take(len).collect(),
                     epochs: epochs.by_ref().take(len).collect(),
@@ -1313,7 +1328,7 @@ impl ShardedEngine {
         if ctx.t == 1 {
             for lane in &mut self.lanes {
                 for local in 0..lane.len() {
-                    let node = lane.base + local as u32;
+                    let node = lane.base + index_u32(local);
                     if ctx.members.is_present(node as usize) {
                         let at = lane.rngs[local].gen_range(0..WAKE_SPREAD);
                         lane.push_from(

@@ -1,0 +1,36 @@
+//! Checked narrowing casts for node-id, shard-index, and option-index
+//! arithmetic (determinism rule D5).
+//!
+//! Node ids travel as `u32` on the wire and in the packed per-node
+//! state, while Rust indexing hands back `usize` — so the runtimes
+//! narrow constantly. A bare `x as u32` silently wraps once a value
+//! crosses `u32::MAX`, turning an impossible-fleet-size bug into a
+//! deterministic-looking wrong answer; this module keeps every
+//! narrowing conversion behind one audited, loudly panicking helper
+//! so `detlint` can ban the bare casts outright.
+
+/// Narrows a node / shard / option index to `u32`, panicking instead
+/// of truncating. The branch is fully predictable, so the hot paths
+/// (one conversion per message event) do not measurably pay for it.
+#[inline]
+pub(crate) fn index_u32(x: usize) -> u32 {
+    x.try_into()
+        .unwrap_or_else(|_| panic!("index {x} exceeds u32::MAX — fleet/option ids are 32-bit"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_in_range() {
+        assert_eq!(index_u32(0), 0);
+        assert_eq!(index_u32(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn panics_instead_of_truncating() {
+        let _ = index_u32(u32::MAX as usize + 1);
+    }
+}

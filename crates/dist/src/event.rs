@@ -68,6 +68,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use sociolearn_core::GroupDynamics;
 
 use crate::calendar::{SchedulerKind, ShardedEngine};
+use crate::cast::index_u32;
 use crate::{
     DistConfig, ExecutionModel, MembershipTracker, Metrics, NodeState, ProtocolRuntime,
     RoundMetrics, Transition, MAX_QUERY_RETRIES, NO_CHOICE,
@@ -235,6 +236,25 @@ pub(crate) struct Pending {
     /// fell back) — late replies and stale timeouts are ignored.
     pub(crate) resolved: bool,
 }
+
+/// Per-node protocol state the event-driven runtime keeps: the
+/// current commitment, the one-slot history `back` that answers
+/// epoch-nearest queries, and the local epoch counter that tags
+/// outgoing queries in async mode. Everything else per node — the
+/// pending-query slot, the bounded inbox, the wake anchor, the
+/// incarnation tag — is scheduler/transport bookkeeping with its own
+/// constant bounds, not protocol state.
+pub const EVENT_NODE_STATE_BYTES: usize =
+    2 * std::mem::size_of::<NodeState>() + std::mem::size_of::<u64>();
+
+// Compile-time bounded-memory budget: the event runtime's per-node
+// protocol state stays within 4× the advertised NODE_STATE_BYTES, a
+// message never carries more than one commitment plus its epoch tag,
+// and the transport bookkeeping stays flat. Renegotiate here, not by
+// silently growing a struct.
+const _: () = assert!(EVENT_NODE_STATE_BYTES <= 4 * crate::NODE_STATE_BYTES);
+const _: () = assert!(std::mem::size_of::<Msg>() <= 4 * crate::NODE_STATE_BYTES);
+const _: () = assert!(std::mem::size_of::<Pending>() <= 2 * crate::NODE_STATE_BYTES);
 
 /// The event-driven message-passing runtime: `N` nodes of
 /// [`crate::NODE_STATE_BYTES`] protocol state each, exchanging
@@ -674,7 +694,7 @@ impl EventRuntime {
             let mu = self.cfg.params().mu();
             if self.rng.gen_bool(mu) {
                 rm.explorations += 1;
-                let considered = self.rng.gen_range(0..m) as u32;
+                let considered = index_u32(self.rng.gen_range(0..m));
                 self.decide(node, considered, rewards, rm);
                 return;
             }
@@ -683,7 +703,7 @@ impl EventRuntime {
             // Retry budget spent (or no peers to ask at all): uniform
             // fallback, exactly as in the round-synchronous runtime.
             rm.fallbacks += 1;
-            let considered = self.rng.gen_range(0..m) as u32;
+            let considered = index_u32(self.rng.gen_range(0..m));
             self.decide(node, considered, rewards, rm);
             return;
         }
@@ -711,7 +731,7 @@ impl EventRuntime {
                 at,
                 Event::QueryArrive {
                     from: node,
-                    to: peer as u32,
+                    to: index_u32(peer),
                     epoch: 0,
                 },
             );
@@ -849,7 +869,7 @@ impl EventRuntime {
                 self.push(
                     at,
                     Event::Wake {
-                        node: i as u32,
+                        node: index_u32(i),
                         inc: 0,
                     },
                 );
@@ -992,14 +1012,14 @@ impl EventRuntime {
             let mu = self.cfg.params().mu();
             if self.rng.gen_bool(mu) {
                 rm.explorations += 1;
-                let considered = self.rng.gen_range(0..m) as u32;
+                let considered = index_u32(self.rng.gen_range(0..m));
                 self.decide_async(node, considered, now, rewards, rm);
                 return;
             }
         }
         if attempt > MAX_QUERY_RETRIES || n == 1 {
             rm.fallbacks += 1;
-            let considered = self.rng.gen_range(0..m) as u32;
+            let considered = index_u32(self.rng.gen_range(0..m));
             self.decide_async(node, considered, now, rewards, rm);
             return;
         }
@@ -1024,7 +1044,7 @@ impl EventRuntime {
                 at,
                 Event::QueryArrive {
                     from: node,
-                    to: peer as u32,
+                    to: index_u32(peer),
                     epoch,
                 },
             );
@@ -1181,7 +1201,7 @@ impl EventRuntime {
                     self.push(
                         at,
                         Event::Wake {
-                            node: i as u32,
+                            node: index_u32(i),
                             inc: self.incs[i],
                         },
                     );

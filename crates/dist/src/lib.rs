@@ -97,16 +97,20 @@
 #![warn(missing_docs)]
 
 mod calendar;
+mod cast;
 mod event;
 
 pub use calendar::{Calendar, Entry, SchedulerKind, RING_SLOTS};
 pub use event::{
-    EventRuntime, StalenessBound, ASYNC_EPOCH_PERIOD, DEFAULT_QUEUE_BOUND, MAX_MESSAGE_LATENCY,
+    EventRuntime, StalenessBound, ASYNC_EPOCH_PERIOD, DEFAULT_QUEUE_BOUND, EVENT_NODE_STATE_BYTES,
+    MAX_MESSAGE_LATENCY,
 };
 
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use sociolearn_core::{GroupDynamics, Params};
+
+use cast::index_u32;
 
 /// Protocol state kept by one node between rounds: the option it
 /// committed to last round, packed into a single `u32`
@@ -129,12 +133,28 @@ pub const NODE_STATE_BYTES: usize = std::mem::size_of::<NodeState>();
 /// the in-memory dynamics. Kept in one place so the runtimes cannot
 /// drift apart on their round-0 state.
 pub(crate) fn uniform_start_choice(node: usize, m: usize) -> NodeState {
-    (node % m) as NodeState
+    index_u32(node % m)
 }
 
 // The O(1)-memory claim, enforced at compile time: a node's protocol
 // state must stay a handful of bytes (no weight vector, no history).
 const _: () = assert!(NODE_STATE_BYTES <= 8);
+
+/// Per-node protocol state the round-synchronous [`Runtime`] keeps:
+/// the current commitment plus last round's snapshot it answers
+/// peer queries from — two `u32` option slots ([`NODE_STATE_BYTES`]
+/// each), and nothing that grows with rounds, options, or history.
+pub const ROUND_SYNC_NODE_STATE_BYTES: usize = 2 * std::mem::size_of::<NodeState>();
+
+// The bounded-memory budget (à la Su–Zubeldia–Lynch's bounded-memory
+// collaborative learning), tied down at compile time: each execution
+// model's per-node protocol state is a small documented multiple of
+// NODE_STATE_BYTES. A PR that grows a per-node struct must
+// renegotiate the budget here, visibly — see the matching assertions
+// in `event.rs` (EVENT_NODE_STATE_BYTES) and `calendar.rs`
+// (SHARD_LANE_NODE_STATE_BYTES), and the `node_state_budgets` unit
+// test documenting the exact current sizes.
+const _: () = assert!(ROUND_SYNC_NODE_STATE_BYTES == 2 * NODE_STATE_BYTES);
 
 /// How many peers a node tries per round before giving up on copying
 /// and falling back to uniform exploration. Bounds both the per-round
@@ -643,11 +663,11 @@ impl MembershipTracker {
                 MembershipKind::Leave => Transition::Leave,
                 MembershipKind::Rejoin => Transition::Rejoin,
             };
-            timeline.push((round, node as u32, t));
+            timeline.push((round, index_u32(node), t));
         }
         for &(node, round) in &faults.crashes {
             if node < n {
-                timeline.push((round, node as u32, Transition::Crash));
+                timeline.push((round, index_u32(node), Transition::Crash));
             }
         }
         for &spec in &faults.bulk {
@@ -660,8 +680,8 @@ impl MembershipTracker {
                         let lo = k as usize * batch;
                         let hi = (lo + batch).min(n);
                         for node in lo..hi {
-                            timeline.push((down, node as u32, Transition::Leave));
-                            timeline.push((down + gap, node as u32, Transition::Rejoin));
+                            timeline.push((down, index_u32(node), Transition::Leave));
+                            timeline.push((down + gap, index_u32(node), Transition::Rejoin));
                         }
                         k += 1;
                     }
@@ -672,7 +692,7 @@ impl MembershipTracker {
                         "flash crowd of {count} exceeds the fleet size {n}"
                     );
                     for node in n - count..n {
-                        timeline.push((round, node as u32, Transition::Join));
+                        timeline.push((round, index_u32(node), Transition::Join));
                     }
                 }
             }
@@ -966,7 +986,7 @@ impl Runtime {
             // Stage 1: sample an option to consider.
             let considered: u32 = if self.rng.gen_bool(mu) {
                 rm.explorations += 1;
-                self.rng.gen_range(0..m) as u32
+                index_u32(self.rng.gen_range(0..m))
             } else {
                 let mut copied = NO_CHOICE;
                 if n > 1 {
@@ -1003,7 +1023,7 @@ impl Runtime {
                 }
                 if copied == NO_CHOICE {
                     rm.fallbacks += 1;
-                    self.rng.gen_range(0..m) as u32
+                    index_u32(self.rng.gen_range(0..m))
                 } else {
                     copied
                 }
@@ -1205,6 +1225,26 @@ mod tests {
 
     fn params() -> Params {
         Params::new(2, 0.65).unwrap()
+    }
+
+    /// Documents the exact per-node state budgets that the compile-time
+    /// `const` assertions in `lib.rs`, `event.rs`, and `calendar.rs` bound.
+    /// If a protocol struct grows, this test pins down the new number so the
+    /// change is a conscious decision rather than silent drift away from the
+    /// O(log m)-bits-per-node claim.
+    #[test]
+    fn node_state_budgets() {
+        // The canonical unit: one adopted-option id (u32).
+        assert_eq!(NODE_STATE_BYTES, 4);
+        // Round-synchronous model: current + next option per node.
+        assert_eq!(ROUND_SYNC_NODE_STATE_BYTES, 8);
+        assert_eq!(ROUND_SYNC_NODE_STATE_BYTES, 2 * NODE_STATE_BYTES);
+        // Event-driven model: option + pending sample + virtual-time stamp.
+        assert_eq!(EVENT_NODE_STATE_BYTES, 16);
+        assert_eq!(EVENT_NODE_STATE_BYTES, 4 * NODE_STATE_BYTES);
+        // Sharded calendar-queue lane bookkeeping per node.
+        assert_eq!(calendar::SHARD_LANE_NODE_STATE_BYTES, 24);
+        assert_eq!(calendar::SHARD_LANE_NODE_STATE_BYTES, 6 * NODE_STATE_BYTES);
     }
 
     #[test]

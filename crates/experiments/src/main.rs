@@ -6,6 +6,8 @@
 //! experiments all [--quick] [--seed N] [--out DIR]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sociolearn_experiments::{registry, run_by_id, ExpContext};
 use std::process::ExitCode;
 
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
 
     let mut failures = 0;
     for id in ids {
+        // detlint: allow(D2) — wall-clock stopwatch for the CLI progress line; no simulated state depends on it
         let started = std::time::Instant::now();
         match run_by_id(id, &ctx) {
             Ok(report) => {

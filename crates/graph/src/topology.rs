@@ -217,7 +217,10 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
             stubs.swap(i, j);
         }
         let mut edges = Vec::with_capacity(n * d / 2);
-        let mut seen = std::collections::HashSet::new();
+        // BTreeSet, not HashSet (D1): `random_regular` is on the
+        // seeded runtime path, and a deterministic container keeps
+        // even its incidental behavior platform-independent.
+        let mut seen = std::collections::BTreeSet::new();
         for pair in stubs.chunks(2) {
             let (a, b) = (pair[0], pair[1]);
             if a == b {

@@ -1,0 +1,19 @@
+//@ path: crates/graph/src/fixture.rs
+// Region bounds: the cfg(test) exemption ends at the module's closing
+// brace; code after it is live again.
+pub fn live_before() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn inside() {
+        let _: HashSet<u8> = HashSet::new();
+        let _ = std::time::SystemTime::now();
+    }
+}
+
+pub fn live_after() {
+    let _bad = std::collections::HashSet::<u8>::new(); //~ D1
+}

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/fixture.rs
+// D1 negative: ordered containers are the deterministic equivalents.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn popularity(choices: &[u32]) -> BTreeMap<u32, u64> {
+    let mut counts = BTreeMap::new();
+    let mut dedup = BTreeSet::new();
+    for &c in choices {
+        if dedup.insert(c) {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+    }
+    counts
+}

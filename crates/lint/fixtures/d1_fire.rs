@@ -1,0 +1,12 @@
+//@ path: crates/core/src/fixture.rs
+// D1 positive: hash containers in a runtime crate's shipped source.
+use std::collections::HashMap; //~ D1
+use std::collections::HashSet; //~ D1
+
+pub fn popularity(choices: &[u32]) -> HashMap<u32, u64> { //~ D1
+    let mut dedup = HashSet::new(); //~ D1
+    for &c in choices {
+        dedup.insert(c);
+    }
+    HashMap::new() //~ D1
+}

@@ -1,0 +1,12 @@
+//@ path: crates/stats/src/fixture.rs
+// D1 is scoped to the runtime crates; stats may hash (its outputs are
+// aggregates, not schedules). D2/D3 still apply here.
+use std::collections::HashMap;
+
+pub fn mode(xs: &[u32]) -> Option<u32> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().max_by_key(|&(x, c)| (c, x)).map(|(x, _)| x)
+}

@@ -1,0 +1,17 @@
+//@ path: crates/sim/src/fixture.rs
+// D1/D2 negative: `#[cfg(test)]` regions are exempt, live code is not.
+pub fn live(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniqueness() {
+        let set: HashSet<u64> = (0..10).map(super::live).collect();
+        assert_eq!(set.len(), 10);
+        let _elapsed = std::time::Instant::now().elapsed();
+    }
+}

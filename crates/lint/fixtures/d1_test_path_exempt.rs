@@ -1,0 +1,14 @@
+//@ path: crates/dist/tests/fixture.rs
+// Path-level exemption: files under tests/ may use hash containers,
+// wall clocks, literal seeds, and bare casts freely.
+use std::collections::HashMap;
+
+#[test]
+fn harness() {
+    let mut m: HashMap<u32, u64> = HashMap::new();
+    m.insert(1, 2);
+    let t = std::time::Instant::now();
+    let n: usize = 5;
+    let _small = n as u32;
+    let _ = t.elapsed();
+}

@@ -1,0 +1,11 @@
+//@ path: crates/graph/src/fixture.rs
+// D1 waivers: a standalone waiver covers the next code line, a
+// trailing waiver covers its own line. Both carry reasons.
+
+// detlint: allow(D1) — probe set is drained through sorted(), order never escapes
+use std::collections::HashSet;
+
+pub fn probe(xs: &[u32]) -> usize {
+    let seen: HashSet<u32> = xs.iter().copied().collect(); // detlint: allow(D1) — only len() is observed
+    seen.len()
+}

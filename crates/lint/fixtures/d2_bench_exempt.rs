@@ -1,0 +1,8 @@
+//@ path: crates/bench/benches/fixture.rs
+// Path-level exemption: the bench crate is the one place wall-clock
+// timing is the point.
+pub fn measure(f: impl Fn()) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed()
+}

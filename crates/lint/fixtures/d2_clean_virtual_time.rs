@@ -1,0 +1,13 @@
+//@ path: crates/network/src/fixture.rs
+// D2 negative: virtual clocks and Instant *values* (not ::now) are
+// fine; `Duration` math reads no clock.
+use std::time::Duration;
+
+pub struct VirtualClock {
+    now: u64,
+}
+
+pub fn advance(clock: &mut VirtualClock, ticks: u64) -> Duration {
+    clock.now += ticks;
+    Duration::from_millis(clock.now)
+}

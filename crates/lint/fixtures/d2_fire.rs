@@ -1,0 +1,10 @@
+//@ path: crates/network/src/fixture.rs
+// D2 positive: every wall-clock / OS-entropy source fires, including
+// behind full paths.
+pub fn naughty() {
+    let t = std::time::Instant::now(); //~ D2
+    let s = std::time::SystemTime::now(); //~ D2
+    let mut r = rand::thread_rng(); //~ D2
+    let e = rand::rngs::SmallRng::from_entropy(); //~ D2
+    let o = rand::rngs::OsRng; //~ D2
+}

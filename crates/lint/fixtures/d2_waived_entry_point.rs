@@ -1,0 +1,7 @@
+//@ path: crates/experiments/src/main.rs
+// D2 waiver at a program entry point: the stopwatch is display-only.
+fn main() {
+    // detlint: allow(D2) — wall-clock stopwatch for the progress line; nothing simulated depends on it
+    let started = std::time::Instant::now();
+    println!("took {:?}", started.elapsed());
+}

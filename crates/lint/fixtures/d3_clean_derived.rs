@@ -1,0 +1,9 @@
+//@ path: crates/sim/src/fixture.rs
+// D3 negative: seeds that flow in from the caller or out of the seed
+// tree are the discipline.
+pub fn disciplined(seed: u64) {
+    let tree = SeedTree::new(seed);
+    let a = rand::rngs::SmallRng::seed_from_u64(tree.child(0));
+    let b = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let c = SplitMix64::new(tree.subtree(1).root());
+}

@@ -1,0 +1,8 @@
+//@ path: examples/fixture.rs
+// Entry points own the root seed: a literal here IS the seed-tree
+// root, so D3 does not apply (D2 still does — no clock reads here).
+fn main() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2017);
+    let tree = SeedTree::new(20170508);
+    let _ = (rng.gen::<u64>(), tree.child(0));
+}

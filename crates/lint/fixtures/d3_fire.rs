@@ -1,0 +1,9 @@
+//@ path: crates/sim/src/fixture.rs
+// D3 positive: literal-seeded RNG construction in library code, in
+// all its spellings.
+pub fn naughty() {
+    let a = rand::rngs::SmallRng::seed_from_u64(42); //~ D3
+    let b = rand::rngs::SmallRng::from_seed([7u8; 32]); //~ D3
+    let c = SplitMix64::new(0xDEAD_BEEF); //~ D3
+    let d = SeedTree::new(123); //~ D3
+}

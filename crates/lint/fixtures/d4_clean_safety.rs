@@ -1,0 +1,11 @@
+//@ path: crates/core/src/fixture.rs
+// D4 negative: a SAFETY comment immediately above (or on) the unsafe
+// line documents the obligation.
+pub fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees `ptr` is valid for reads.
+    unsafe { *ptr }
+}
+
+pub fn trailing(ptr: *const u8) -> u8 {
+    unsafe { *ptr } // SAFETY: caller guarantees `ptr` is valid for reads.
+}

@@ -1,0 +1,13 @@
+//@ path: crates/core/src/fixture.rs
+// D4 positive: undocumented unsafe, and a SAFETY comment that is not
+// adjacent does not count.
+pub fn naughty(ptr: *const u8) -> u8 {
+    unsafe { *ptr } //~ D4
+}
+
+// SAFETY: this comment is stale — two lines of code sit between it
+// and the block it pretends to document.
+pub fn stale(ptr: *const u8) -> u8 {
+    let offset = 1;
+    unsafe { *ptr.add(offset) } //~ D4
+}

@@ -1,0 +1,10 @@
+//@ path: crates/dist/src/fixture.rs
+// D5 negative: checked narrowing, and widening casts, are fine.
+pub fn disciplined(n: usize, small: u32) -> u64 {
+    let a = index_u32(n);
+    let b: u32 = n.try_into().expect("fits");
+    let wide = small as u64;
+    let idx = small as usize;
+    let frac = n as f64;
+    wide + u64::from(a + b) + idx as u64 + frac as u64
+}

@@ -1,0 +1,10 @@
+//@ path: crates/dist/src/fixture.rs
+// D5 positive: bare narrowing casts in dist index math, including the
+// crate's NodeState alias for u32.
+pub fn naughty(n: usize, wide: u64) -> u32 {
+    let a = n as u32; //~ D5
+    let b = wide as u32; //~ D5
+    let c = n as u16; //~ D5
+    let d = (n % 7) as NodeState; //~ D5
+    a + b + c as u32 + d //~ D5
+}

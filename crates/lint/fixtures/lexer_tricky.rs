@@ -1,0 +1,27 @@
+//@ path: crates/env/src/fixture.rs
+// The lexer gauntlet: every rule pattern below sits inside a string,
+// raw string, char sequence, comment, or doc text — none may fire.
+// One genuine finding closes the file to prove scanning survived.
+
+//! Doc text naming HashMap, Instant::now(), thread_rng() is inert.
+
+/* Block comment: use std::collections::HashSet; unsafe { }
+   /* nested: SystemTime::now(), seed_from_u64(42) */
+   still inside the outer comment: n as u32 */
+
+pub fn gauntlet() -> usize {
+    let plain = "HashMap::new() and Instant::now() and thread_rng()";
+    let raw = r#"SystemTime inside raw: "quoted" from_entropy()"#;
+    let hashes = r##"raw with "# inside: HashSet unsafe OsRng"##;
+    let bytes = b"seed_from_u64(7) as u32";
+    let ch = '"';
+    let escaped = '\'';
+    let lifetime: &'static str = "as u16";
+    // line comment: SeedTree::new(5) unsafe { *p } SystemTime
+    plain.len() + raw.len() + hashes.len() + bytes.len() + lifetime.len()
+        + (ch as usize) + (escaped as usize)
+}
+
+pub fn genuine() {
+    let t = std::time::Instant::now(); //~ D2
+}

@@ -1,0 +1,10 @@
+//@ path: crates/core/src/fixture.rs
+// W1: waivers must name known rules and carry a reason; a reasonless
+// or unknown-rule waiver does not suppress.
+// detlint: allow(D1) //~ W1
+use std::collections::HashMap; //~ D1
+
+// detlint: allow(D7) — no such rule //~ W1
+pub fn f() -> HashMap<u32, u32> { //~ D1
+    HashMap::new() //~ D1
+}

@@ -1,0 +1,485 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Just enough of the language to tell *code* apart from *trivia*:
+//! line/block comments (nested), string literals (plain, byte, C, and
+//! raw with any number of `#`s), char literals vs. lifetimes, raw
+//! identifiers, and numeric literals. The rule engine in
+//! [`crate::rules`] pattern-matches on the token stream, so text that
+//! merely *mentions* a rule pattern inside a comment or a string must
+//! never produce a token — that property is what the tricky-lexer
+//! fixtures pin down.
+//!
+//! This is deliberately not a full Rust lexer: it has no keyword
+//! table (keywords come out as [`TokKind::Ident`] and rules match on
+//! text) and it does not validate literals — it only needs to find
+//! where they *end*.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unsafe`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.5`, `2e-3`).
+    Float,
+    /// Any string literal (`"..."`, `r#"..."#`, `b"..."`, `c"..."`).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'static`, `'a`).
+    Lifetime,
+    /// Punctuation. `::` is a single token; everything else is one
+    /// character.
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (trivia), kept separately from the token stream so the
+/// waiver and `SAFETY:` checks can see it.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//`).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file: code tokens plus comment trivia.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// literals simply run to end of input (the scanned workspace is
+/// `cargo check`-clean, so this only matters for robustness).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if self.raw_string_ahead() {
+                self.raw_string();
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                // Byte char: skip the `b`, lex the rest as a char.
+                self.bump();
+                self.char_or_lifetime();
+            } else if (c == 'b' || c == 'c') && self.peek(1) == Some('"') {
+                self.bump();
+                self.plain_string();
+            } else if c == '"' {
+                self.plain_string();
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if c == 'r'
+                && self.peek(1) == Some('#')
+                && self.peek(2).is_some_and(is_ident_start)
+            {
+                // Raw identifier `r#ident`: keep the prefix in the
+                // text so `r#as` can never match a rule looking for
+                // the keyword `as`.
+                let line = self.line;
+                let mut text = String::from("r#");
+                self.bump();
+                self.bump();
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    text.push(self.bump().unwrap());
+                }
+                self.push(TokKind::Ident, text, line);
+            } else if is_ident_start(c) {
+                self.ident();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                let line = self.line;
+                self.bump();
+                if c == ':' && self.peek(0) == Some(':') {
+                    self.bump();
+                    self.push(TokKind::Punct, "::".to_string(), line);
+                } else {
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `r"..."`, `r#"..."#`, `br##"..."##`, `cr"..."` — a raw-string
+    /// opener at the cursor?
+    fn raw_string_ahead(&self) -> bool {
+        let mut j = match self.peek(0) {
+            Some('r') => 1,
+            Some('b') | Some('c') if self.peek(1) == Some('r') => 2,
+            _ => return false,
+        };
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        self.peek(j) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().unwrap());
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        loop {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push(self.bump().unwrap());
+                text.push(self.bump().unwrap());
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push(self.bump().unwrap());
+                text.push(self.bump().unwrap());
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(c) = self.bump() {
+                text.push(c);
+            } else {
+                break; // unterminated: runs to EOF
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// A `"..."` string with escapes (the optional `b`/`c` prefix has
+    /// already been consumed). Multi-line strings advance the line
+    /// counter via `bump`.
+    fn plain_string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // whatever is escaped, incl. `\"` and `\\`
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// A raw string: count the `#`s in the opener, then scan for the
+    /// matching `"##...#` closer. No escapes inside.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        while self.peek(0) == Some('b') || self.peek(0) == Some('c') || self.peek(0) == Some('r') {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: loop {
+            match self.bump() {
+                Some('"') => {
+                    for k in 0..hashes {
+                        if self.peek(k) != Some('#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                None => break,
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): after the
+    /// quote, an identifier not followed by a closing quote is a
+    /// lifetime.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume up to the closing quote.
+                self.bump();
+                loop {
+                    match self.bump() {
+                        Some('\'') | None => break,
+                        Some(_) => {}
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut text = String::new();
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    text.push(self.bump().unwrap());
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            _ => {
+                // Plain one-char literal like `'('` or `'1'`.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            text.push(self.bump().unwrap());
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    /// Numeric literal. Only two things matter to the rules: the
+    /// token is classified `Int` vs `Float`, and `0..m` must not eat
+    /// the range dots.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut kind = TokKind::Int;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'))
+        {
+            text.push(self.bump().unwrap());
+            text.push(self.bump().unwrap());
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                text.push(self.bump().unwrap());
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(self.bump().unwrap());
+            }
+            // Fraction — only when a digit follows the dot, so ranges
+            // (`0..m`) and method calls (`1.max(2)`) stay separate.
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                kind = TokKind::Float;
+                text.push(self.bump().unwrap());
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    text.push(self.bump().unwrap());
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let signed = matches!(self.peek(1), Some('+') | Some('-'));
+                let digit_at = if signed { 2 } else { 1 };
+                if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                    kind = TokKind::Float;
+                    text.push(self.bump().unwrap());
+                    if signed {
+                        text.push(self.bump().unwrap());
+                    }
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        text.push(self.bump().unwrap());
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, ...).
+        let mut suffix = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            suffix.push(self.bump().unwrap());
+        }
+        if suffix.starts_with('f') {
+            kind = TokKind::Float;
+        }
+        text.push_str(&suffix);
+        self.push(kind, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_idents() {
+        let src = r####"
+            // HashMap in a line comment
+            /* Instant::now() in /* a nested */ block comment */
+            fn f() {
+                let a = "HashMap::new() thread_rng()";
+                let b = r#"SystemTime "quoted" inside raw"#;
+                let c = b"from_entropy";
+            }
+        "####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f", "let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("let c: char = 'a'; let s: &'static str = \"x\"; let q = '\\'';");
+        let kinds: Vec<TokKind> = lexed.toks.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokKind::Char));
+        assert!(kinds.contains(&TokKind::Lifetime));
+        let lt: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lt, vec!["static"]);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_swallows_quotes() {
+        let lexed = lex(r###"let x = r##"a "quote" and "# inside"## ; let y = 1;"###);
+        let ids = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .count();
+        assert_eq!(ids, 4); // let x let y
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_floats() {
+        let lexed = lex("for i in 0..n { x[i as usize] += 1.5e3; }");
+        let ints: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0"]);
+        let floats: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5e3"]);
+    }
+
+    #[test]
+    fn raw_ident_keeps_prefix() {
+        let ids = idents("let r#as = 3;");
+        assert_eq!(ids, vec!["let", "r#as"]);
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let lexed = lex("std::time::Instant::now()");
+        let puncts: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["::", "::", "::", "(", ")"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_trivia() {
+        let src = "/* one\ntwo\nthree */\nfn f() {}\n\"a\nb\"\nlet x = 1;";
+        let lexed = lex(src);
+        let f = lexed.toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 4);
+        let x = lexed.toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 7);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+    }
+}

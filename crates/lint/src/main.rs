@@ -1,0 +1,72 @@
+//! The `detlint` binary: scans the workspace and reports determinism
+//! findings in `file:line rule message` form.
+//!
+//! ```text
+//! detlint [--root DIR] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error — CI runs
+//! `cargo run --release -p sociolearn-lint` from the workspace root
+//! and fails the build on any unwaived finding.
+
+#![forbid(unsafe_code)]
+
+use sociolearn_lint::{scan_workspace, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{}  {}", rule.code(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("detlint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("detlint: unknown argument {other:?}");
+                eprintln!("usage: detlint [--root DIR] [--list-rules]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        eprintln!(
+            "detlint: no .rs files under {} — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    for finding in &report.findings {
+        println!("{}", finding.render());
+    }
+    if report.findings.is_empty() {
+        eprintln!("detlint: clean ({} files scanned)", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "detlint: {} finding(s) across {} files scanned",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

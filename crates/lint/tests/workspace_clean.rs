@@ -1,0 +1,26 @@
+//! The self-test the tentpole hangs on: `detlint` over the *live*
+//! workspace must exit clean. Every hit in the tree is either fixed
+//! or carries a reasoned inline waiver; any regression — a new hash
+//! map on the runtime path, a clock read, an ad-hoc seed, an
+//! undocumented `unsafe`, a bare narrowing cast in dist — fails this
+//! test (and the CI `detlint` job) before any proptest runs.
+
+use std::path::PathBuf;
+
+#[test]
+fn live_workspace_is_detlint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = sociolearn_lint::scan_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 80,
+        "suspiciously few files scanned ({}) — did the workspace move?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "detlint found {} unwaived finding(s) in the live workspace:\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

@@ -11,6 +11,8 @@
 //! cargo run --release --example ant_colony
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 use sociolearn::core::{GroupDynamics, Params, RewardModel};
 use sociolearn::env::swap_best;

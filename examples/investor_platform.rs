@@ -13,6 +13,8 @@
 //! cargo run --release --example investor_platform
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 use sociolearn::baselines::Hedge;
 use sociolearn::core::{

@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 use sociolearn::core::{
     BernoulliRewards, FinitePopulation, GroupDynamics, Params, RegretTracker, RewardModel,

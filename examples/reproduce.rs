@@ -6,6 +6,8 @@
 //! cargo run --release --example reproduce
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sociolearn::experiments::{registry, run_by_id, ExpContext};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut failures = Vec::new();
     for exp in registry() {
+        // detlint: allow(D2) — wall-clock stopwatch for the per-experiment duration display; no simulated state depends on it
         let started = std::time::Instant::now();
         let report = run_by_id(exp.id, &ctx).map_err(std::io::Error::other)?;
         println!(

@@ -12,6 +12,8 @@
 //! cargo run --release --example sensor_network
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 use sociolearn::core::{BernoulliRewards, Params, RewardModel};
 use sociolearn::dist::{

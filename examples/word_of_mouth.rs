@@ -11,6 +11,8 @@
 //! cargo run --release --example word_of_mouth
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 use sociolearn::core::{FinitePopulation, GroupDynamics, Params, RewardModel};
 use sociolearn::env::{BestOfTwoRewards, DuelPopulation, ShockDuel};

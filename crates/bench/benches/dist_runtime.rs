@@ -19,8 +19,8 @@ use rand::{Rng, SeedableRng};
 use sociolearn_bench::{bench_params, reward_stream};
 use sociolearn_core::Params;
 use sociolearn_dist::{
-    DistConfig, EventRuntime, FaultPlan, ProtocolRuntime, Runtime, SchedulerKind, StalenessBound,
-    MAX_QUERY_RETRIES,
+    DistConfig, EventRuntime, FaultPlan, MetricsRecorder, ProtocolRuntime, Runtime, SchedulerKind,
+    StalenessBound, MAX_QUERY_RETRIES,
 };
 
 /// Options per fleet in every benchmark.
@@ -188,6 +188,30 @@ fn dist_runtime_benches(c: &mut Criterion) {
                 let mut t = 0usize;
                 b.iter(|| {
                     net.tick(&rewards[t % rewards.len()]);
+                    t += 1;
+                });
+            },
+        );
+
+        // The same sharded deployment driven through the telemetry
+        // observer hook with a live `MetricsRecorder` attached. The
+        // sink sees every tick (per-shard loads included), so the
+        // delta against the plain `event_sharded8` row is the whole
+        // cost of observability — gated in the baseline to pin
+        // "telemetry ≤ 2% of tick cost" (well inside the gate's
+        // regression allowance).
+        group.bench_with_input(
+            BenchmarkId::new(format!("event_sharded{BENCH_SHARDS}_telemetry"), n),
+            &n,
+            |b, &n| {
+                let mut net = EventRuntime::new(DistConfig::new(bench_params(M), n), 3)
+                    .with_scheduler(SchedulerKind::ShardedCalendar {
+                        shards: BENCH_SHARDS,
+                    });
+                let mut recorder = MetricsRecorder::new(64);
+                let mut t = 0usize;
+                b.iter(|| {
+                    net.observed_round(&rewards[t % rewards.len()], &mut recorder);
                     t += 1;
                 });
             },

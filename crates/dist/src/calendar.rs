@@ -910,6 +910,8 @@ pub(crate) struct ShardedEngine {
     lanes: Vec<ShardLane>,
     /// Virtual time already consumed by async ticks.
     async_clock: u64,
+    /// Online rebalances that actually moved a lane boundary.
+    rebalances: u64,
 }
 
 impl ShardedEngine {
@@ -973,6 +975,7 @@ impl ShardedEngine {
             map,
             lanes,
             async_clock: 0,
+            rebalances: 0,
         }
     }
 
@@ -1015,6 +1018,26 @@ impl ShardedEngine {
             for (slot, &c) in out.iter_mut().zip(&lane.counts) {
                 *slot += c;
             }
+        }
+    }
+
+    /// Online rebalances performed so far (only those that actually
+    /// moved a lane boundary count — churn at an already-balanced
+    /// partition is free and unreported).
+    pub(crate) fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Appends each lane's *present*-node load to `out` in lane order
+    /// — the per-shard load a telemetry sink charts to see whether
+    /// the online rebalancer is keeping the partition even.
+    pub(crate) fn write_shard_loads(&self, members: &MembershipTracker, out: &mut Vec<usize>) {
+        for lane in &self.lanes {
+            let base = lane.base as usize;
+            let load = (base..base + lane.choices.len())
+                .filter(|&i| members.is_present(i))
+                .count();
+            out.push(load);
         }
     }
 
@@ -1140,6 +1163,7 @@ impl ShardedEngine {
         if new_map == self.map {
             return;
         }
+        self.rebalances += 1;
         let lane_count = self.lanes.len();
         let m = self.lanes[0].counts.len();
         let depth_watermark = self.max_queue_depth();

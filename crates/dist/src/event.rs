@@ -1337,6 +1337,21 @@ impl ProtocolRuntime for EventRuntime {
             Mode::Async(_) => ExecutionModel::FullyAsync,
         }
     }
+
+    fn epoch_skew(&self) -> u64 {
+        self.epoch_spread()
+    }
+
+    fn write_shard_loads(&self, out: &mut Vec<usize>) {
+        match &self.sharded {
+            Some(engine) => engine.write_shard_loads(&self.members, out),
+            None => out.push(self.alive_count()),
+        }
+    }
+
+    fn shard_rebalances(&self) -> u64 {
+        self.sharded.as_ref().map_or(0, |e| e.rebalances())
+    }
 }
 
 #[cfg(test)]

@@ -99,12 +99,14 @@
 mod calendar;
 mod cast;
 mod event;
+mod telemetry;
 
 pub use calendar::{Calendar, Entry, SchedulerKind, RING_SLOTS};
 pub use event::{
     EventRuntime, StalenessBound, ASYNC_EPOCH_PERIOD, DEFAULT_QUEUE_BOUND, EVENT_NODE_STATE_BYTES,
     MAX_MESSAGE_LATENCY,
 };
+pub use telemetry::{MetricsRecorder, NoTelemetry, TelemetryFrame, TelemetrySink, TickObservation};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -517,14 +519,20 @@ pub struct RoundMetrics {
     /// Nodes that explored uniformly by design (the `µ` branch; sends
     /// no messages and is not a fallback).
     pub explorations: u64,
-    /// Messages rejected by a full receiver queue (always 0 for the
-    /// round-synchronous [`Runtime`], which has no queues; the
-    /// event-driven [`EventRuntime`] counts backpressure drops here).
+    /// Messages rejected by a full receiver queue. Always 0 for the
+    /// round-synchronous [`Runtime`], which has no queues — with or
+    /// without membership churn; the event-driven [`EventRuntime`]
+    /// counts backpressure drops here, and a churn script can spike
+    /// them (a rejoin wave concentrates queries on the nodes still
+    /// up, overflowing their inboxes).
     pub queue_drops: u64,
     /// Replies withheld because the responder's information was more
     /// than the configured staleness bound behind the querier's local
     /// epoch. Always 0 outside fully-async execution, and 0 in async
     /// execution when the bound is [`StalenessBound::Unbounded`].
+    /// Under membership churn, rejoining nodes restart their local
+    /// epoch at the fleet's tail, so a churn script widens the skew
+    /// and can make bounded-staleness fleets shed replies here.
     pub stale_replies: u64,
     /// Nodes that joined the fleet for the first time this round.
     pub joins: u64,
@@ -554,15 +562,23 @@ pub struct Metrics {
     pub fallbacks: u64,
     /// Total deliberate `µ`-explorations.
     pub explorations: u64,
-    /// Total messages rejected by full receiver queues.
+    /// Total messages rejected by full receiver queues. Always 0 for
+    /// the queueless round-synchronous [`Runtime`] even under churn;
+    /// nonzero only in event-driven execution, where churn waves are
+    /// the usual cause of spikes.
     pub queue_drops: u64,
-    /// Total replies withheld as too stale (fully-async mode only).
+    /// Total replies withheld as too stale (fully-async mode with a
+    /// finite [`StalenessBound`] only; churn-widened epoch skew is
+    /// what usually drives this up).
     pub stale_replies: u64,
-    /// Total first-time joins.
+    /// Total first-time joins (nonzero only when a [`FaultPlan`]
+    /// scripts membership churn).
     pub joins: u64,
-    /// Total graceful leaves (crashes not included).
+    /// Total graceful leaves (crashes not included; nonzero only
+    /// under scripted churn).
     pub leaves: u64,
-    /// Total rejoins after a leave.
+    /// Total rejoins after a leave (nonzero only under scripted
+    /// churn).
     pub rejoins: u64,
 }
 
@@ -1170,6 +1186,57 @@ pub trait ProtocolRuntime: GroupDynamics {
     /// Which execution model this runtime realizes — round-sync,
     /// epoch-quiesced event-driven, or fully asynchronous.
     fn execution_model(&self) -> ExecutionModel;
+
+    /// Max−min completed local epoch over present nodes — the skew a
+    /// dashboard charts to see how far the fleet's frontier has
+    /// spread. Defaults to 0, correct for every barriered model (no
+    /// node can run ahead of a barrier); only fully-async execution
+    /// overrides it with a live spread.
+    fn epoch_skew(&self) -> u64 {
+        0
+    }
+
+    /// Appends the present-node count of each scheduler shard to
+    /// `out`, in shard order. The default reports one whole-fleet
+    /// entry — correct for every unsharded runtime; the sharded
+    /// calendar engine overrides it with its per-lane loads.
+    fn write_shard_loads(&self, out: &mut Vec<usize>) {
+        out.push(self.alive_count());
+    }
+
+    /// Online shard rebalances performed so far. 0 (the default) for
+    /// every runtime without a sharded scheduler.
+    fn shard_rebalances(&self) -> u64 {
+        0
+    }
+
+    /// Advances one round exactly like
+    /// [`round`](ProtocolRuntime::round), then reports a
+    /// [`TickObservation`] to `sink`.
+    ///
+    /// The observation is assembled strictly after the round
+    /// completes and draws no randomness, so a sink-attached run
+    /// follows the byte-identical trajectory of a sink-free one —
+    /// pass [`NoTelemetry`] and this *is* `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rewards.len()` differs from the number of options.
+    fn observed_round(&mut self, rewards: &[bool], sink: &mut dyn TelemetrySink) -> RoundMetrics {
+        let rm = self.round(rewards);
+        let mut shard_loads = Vec::new();
+        self.write_shard_loads(&mut shard_loads);
+        sink.on_tick(&TickObservation {
+            round: rm,
+            cumulative: self.metrics(),
+            model: self.execution_model(),
+            num_nodes: self.num_nodes(),
+            epoch_skew: self.epoch_skew(),
+            shard_loads,
+            rebalances: self.shard_rebalances(),
+        });
+        rm
+    }
 
     /// Runs one round per entry of `rewards_per_round`, returning the
     /// [`Metrics`] accumulated over just this batch (a

@@ -12,7 +12,13 @@
 //! cargo run --release -p sociolearn-experiments -- list
 //! cargo run --release -p sociolearn-experiments -- E1
 //! cargo run --release -p sociolearn-experiments -- all --quick
+//! cargo run --release -p sociolearn-experiments -- watch --ticks 200
 //! ```
+//!
+//! Besides the numbered experiments, the [`watch`] module backs the
+//! long-lived `watch` subcommand: a live fleet telemetry dashboard
+//! (terminal + SVG snapshot) over any execution model and churn
+//! script.
 //!
 //! Each experiment writes `results/Exx_*.md` (the table), `.csv` (raw
 //! rows) and usually `.svg` (the figure), and returns a pass/fail
@@ -39,6 +45,7 @@ mod exp15_distributed;
 mod exp16_nonuniform_start;
 mod exp17_async_staleness;
 mod exp19_churn;
+pub mod watch;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};

@@ -7,7 +7,11 @@
 //! * [`AsciiChart`] — multi-series line charts for terminal output,
 //! * [`SvgPlot`] — standalone SVG figures (axes, ticks, legends),
 //! * [`CsvWriter`] — raw data series for external tooling,
-//! * [`MarkdownTable`] — the tables embedded in `EXPERIMENTS.md`.
+//! * [`MarkdownTable`] — the tables embedded in `EXPERIMENTS.md`,
+//! * [`telemetry`] — live-fleet dashboards: [`SampleRing`] windows in
+//!   a [`SeriesRegistry`], rendered incrementally by [`LiveTerm`]
+//!   (ANSI in-place redraw) and [`LiveSvg`] (self-contained SVG
+//!   snapshot).
 //!
 //! # Example
 //!
@@ -31,9 +35,11 @@ mod csv;
 mod format;
 mod svg;
 mod table;
+pub mod telemetry;
 
 pub use ascii::{ascii_histogram, AsciiChart};
 pub use csv::CsvWriter;
 pub use format::{fmt_sci, fmt_sig};
 pub use svg::{Series, SvgPlot};
 pub use table::MarkdownTable;
+pub use telemetry::{LiveSvg, LiveTerm, SampleRing, SeriesId, SeriesKind, SeriesRegistry};

@@ -1,0 +1,253 @@
+//! Self-contained SVG dashboard snapshot renderer.
+
+use super::SeriesRegistry;
+use crate::fmt_sig;
+use crate::svg::escape;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Per-panel stroke colors, cycled in registration order.
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+/// Panel geometry: each series gets one fixed-size sparkline panel,
+/// laid out in a column grid.
+const PANEL_W: f64 = 340.0;
+const PANEL_H: f64 = 110.0;
+const PANEL_PAD: f64 = 12.0;
+const PLOT_TOP: f64 = 34.0;
+const PLOT_BOTTOM: f64 = 16.0;
+const HEADER_H: f64 = 40.0;
+
+/// Small-multiples SVG snapshot of a [`SeriesRegistry`]: one
+/// sparkline panel per series, with name, unit, latest value and the
+/// window's min/max.
+///
+/// The output is a pure function of the registry — a run that pushed
+/// identical samples writes a byte-identical file — and is fully
+/// self-contained (inline styles, no external references), following
+/// the same discipline as [`SvgPlot`](crate::SvgPlot).
+///
+/// # Example
+///
+/// ```
+/// use sociolearn_plot::{LiveSvg, SeriesRegistry};
+///
+/// let mut reg = SeriesRegistry::new(60);
+/// let skew = reg.gauge("epoch skew", "epochs");
+/// for t in 0..50 {
+///     reg.push(skew, f64::from(t % 7));
+/// }
+/// let svg = LiveSvg::new("demo fleet").render(&reg);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("epoch skew"));
+/// assert_eq!(svg, LiveSvg::new("demo fleet").render(&reg));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LiveSvg {
+    title: String,
+    columns: usize,
+}
+
+impl LiveSvg {
+    /// Creates a renderer titled `title`, with the default two-column
+    /// panel grid.
+    pub fn new(title: &str) -> Self {
+        LiveSvg {
+            title: title.to_string(),
+            columns: 2,
+        }
+    }
+
+    /// Sets the number of panel columns (clamped to at least 1).
+    pub fn with_columns(mut self, columns: usize) -> Self {
+        self.columns = columns.max(1);
+        self
+    }
+
+    /// Renders the registry into a self-contained SVG string.
+    pub fn render(&self, reg: &SeriesRegistry) -> String {
+        let cols = self.columns.min(reg.len().max(1));
+        let rows = reg.len().div_ceil(cols).max(1);
+        let width = PANEL_PAD + cols as f64 * (PANEL_W + PANEL_PAD);
+        let height = HEADER_H + rows as f64 * (PANEL_H + PANEL_PAD) + PANEL_PAD;
+
+        let mut out = String::with_capacity(2048 + reg.len() * 1024);
+        let _ = write!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+        );
+        out.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let _ = write!(
+            out,
+            r##"<text x="{PANEL_PAD}" y="24" font-family="monospace" font-size="16" fill="#222">{} — tick {} · {} series · window {}</text>"##,
+            escape(&self.title),
+            reg.ticks(),
+            reg.len(),
+            reg.window()
+        );
+        for (i, s) in reg.iter().enumerate() {
+            let x0 = PANEL_PAD + (i % cols) as f64 * (PANEL_W + PANEL_PAD);
+            let y0 = HEADER_H + (i / cols) as f64 * (PANEL_H + PANEL_PAD);
+            self.panel(&mut out, x0, y0, s, COLORS[i % COLORS.len()]);
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// One series panel: frame, title line, min/max labels, sparkline.
+    fn panel(&self, out: &mut String, x0: f64, y0: f64, s: &super::TelemetrySeries, color: &str) {
+        let _ = write!(
+            out,
+            r##"<rect x="{x0}" y="{y0}" width="{PANEL_W}" height="{PANEL_H}" fill="#fafafa" stroke="#ccc"/>"##
+        );
+        let unit = if s.unit().is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", s.unit())
+        };
+        let last = s.ring().latest().map_or("—".to_string(), |v| fmt_sig(v, 4));
+        let _ = write!(
+            out,
+            r##"<text x="{}" y="{}" font-family="monospace" font-size="12" fill="#222">{}{} [{}] = {}</text>"##,
+            x0 + 8.0,
+            y0 + 16.0,
+            escape(s.name()),
+            escape(&unit),
+            s.kind().label(),
+            escape(&last)
+        );
+        let ys = s.ring().to_vec();
+        let (Some(lo), Some(hi)) = (s.ring().min(), s.ring().max()) else {
+            let _ = write!(
+                out,
+                r##"<text x="{}" y="{}" font-family="monospace" font-size="11" fill="#999">no samples</text>"##,
+                x0 + 8.0,
+                y0 + PANEL_H / 2.0
+            );
+            return;
+        };
+        let (lo, hi) = if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        let _ = write!(
+            out,
+            r##"<text x="{}" y="{}" font-family="monospace" font-size="10" fill="#777">{} … {}</text>"##,
+            x0 + 8.0,
+            y0 + PANEL_H - 5.0,
+            escape(&fmt_sig(lo, 3)),
+            escape(&fmt_sig(hi, 3))
+        );
+        // The sparkline, in the band between the title and the
+        // min/max footer. Single samples render as a dot.
+        let plot_w = PANEL_W - 16.0;
+        let plot_h = PANEL_H - PLOT_TOP - PLOT_BOTTOM;
+        let point = |i: usize, v: f64| {
+            let x = if ys.len() <= 1 {
+                x0 + 8.0
+            } else {
+                x0 + 8.0 + i as f64 / (ys.len() - 1) as f64 * plot_w
+            };
+            let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let y = y0 + PLOT_TOP + (1.0 - frac) * plot_h;
+            (x, y)
+        };
+        if ys.len() == 1 {
+            let (x, y) = point(0, ys[0]);
+            let _ = write!(
+                out,
+                r#"<circle cx="{x:.2}" cy="{y:.2}" r="2.5" fill="{color}"/>"#
+            );
+            return;
+        }
+        out.push_str(r#"<polyline fill="none" stroke=""#);
+        out.push_str(color);
+        out.push_str(r#"" stroke-width="1.5" points=""#);
+        for (i, &v) in ys.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let (x, y) = point(i, v);
+            let _ = write!(out, "{x:.2},{y:.2} ");
+        }
+        out.push_str(r#""/>"#);
+    }
+
+    /// Renders and writes the snapshot to `path`.
+    pub fn save(&self, path: &Path, reg: &SeriesRegistry) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render(reg).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> SeriesRegistry {
+        let mut reg = SeriesRegistry::new(50);
+        let a = reg.gauge("alive", "nodes");
+        let b = reg.counter("fallbacks", "events/tick");
+        let c = reg.gauge("commit fraction", "");
+        for t in 0..80u32 {
+            reg.push(a, 1000.0 - f64::from(t % 13));
+            reg.push(b, f64::from(t % 5));
+            reg.push(c, f64::from(t) / 80.0);
+        }
+        reg
+    }
+
+    #[test]
+    fn snapshot_is_self_contained_and_deterministic() {
+        let reg = sample_registry();
+        let svg = LiveSvg::new("fleet").render(&reg);
+        assert!(svg.starts_with("<svg xmlns="));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(!svg.contains("href"), "must not reference external assets");
+        assert_eq!(svg, LiveSvg::new("fleet").render(&reg));
+    }
+
+    #[test]
+    fn every_series_gets_a_panel() {
+        let svg = LiveSvg::new("fleet").render(&sample_registry());
+        for needle in ["alive", "fallbacks", "commit fraction", "polyline"] {
+            assert!(svg.contains(needle), "missing {needle:?}");
+        }
+        assert_eq!(svg.matches("<polyline").count(), 3);
+    }
+
+    #[test]
+    fn title_and_metadata_are_escaped() {
+        let mut reg = SeriesRegistry::new(4);
+        reg.gauge("a<b", "x&y");
+        let svg = LiveSvg::new("t<&>t").render(&reg);
+        assert!(svg.contains("t&lt;&amp;&gt;t"));
+        assert!(svg.contains("a&lt;b"));
+        assert!(svg.contains("x&amp;y"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn empty_and_single_sample_panels_render() {
+        let mut reg = SeriesRegistry::new(8);
+        let a = reg.gauge("one", "");
+        reg.gauge("none", "");
+        reg.push(a, 5.0);
+        let svg = LiveSvg::new("edge").render(&reg);
+        assert!(svg.contains("<circle"), "single sample renders as dot");
+        assert!(svg.contains("no samples"));
+    }
+
+    #[test]
+    fn column_layout_clamps() {
+        let reg = sample_registry();
+        let one = LiveSvg::new("x").with_columns(0).render(&reg);
+        let many = LiveSvg::new("x").with_columns(9).render(&reg);
+        assert!(one.starts_with("<svg"));
+        assert!(many.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Live fleet telemetry: sample rings, a series registry, and two
+//! incremental dashboard renderers.
+//!
+//! The experiment pipeline renders *finished* runs; this module
+//! renders *running* ones. A [`SeriesRegistry`] holds one fixed-width
+//! [`SampleRing`] per named gauge or counter, and two renderers turn
+//! the registry into a dashboard frame:
+//!
+//! * [`LiveTerm`] — an ANSI terminal dashboard (in-place redraw,
+//!   built on [`AsciiChart`](crate::AsciiChart)),
+//! * [`LiveSvg`] — a self-contained small-multiples SVG snapshot.
+//!
+//! Both renderers are pure functions of the registry contents: the
+//! same samples always produce byte-identical output, so dashboard
+//! frames are as deterministic (and doctestable) as the simulations
+//! that feed them.
+
+mod live_svg;
+mod live_term;
+mod ring;
+
+pub use live_svg::LiveSvg;
+pub use live_term::LiveTerm;
+pub use ring::SampleRing;
+
+/// Whether a series reports an instantaneous level or a per-window
+/// event count.
+///
+/// The distinction is metadata for renderers and docs — both kinds
+/// are stored identically. Gauges (alive nodes, epoch skew) are
+/// meaningful at any instant; counters (fallbacks, queue drops) are
+/// per-window deltas that sum over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// An instantaneous level, e.g. alive-node count.
+    Gauge,
+    /// A per-window event count, e.g. queue drops this tick.
+    Counter,
+}
+
+impl SeriesKind {
+    /// Short lowercase label: `"gauge"` or `"counter"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Counter => "counter",
+        }
+    }
+}
+
+/// Handle to a series inside a [`SeriesRegistry`], returned at
+/// registration and used to push samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// One named series: metadata plus its sample window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySeries {
+    name: String,
+    unit: String,
+    kind: SeriesKind,
+    ring: SampleRing,
+}
+
+impl TelemetrySeries {
+    /// The series name, e.g. `"alive"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unit the samples are measured in, e.g. `"nodes"`.
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// Gauge or counter.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// The sample window.
+    pub fn ring(&self) -> &SampleRing {
+        &self.ring
+    }
+}
+
+/// A registry of named telemetry series sharing one window width.
+///
+/// Registration is idempotent on the name: registering `"alive"`
+/// twice returns the same [`SeriesId`], so drivers can re-declare
+/// their series every tick without bookkeeping. Series render in
+/// registration order.
+///
+/// # Example
+///
+/// ```
+/// use sociolearn_plot::{SeriesKind, SeriesRegistry};
+///
+/// let mut reg = SeriesRegistry::new(120);
+/// let alive = reg.gauge("alive", "nodes");
+/// let drops = reg.counter("queue_drops", "events/tick");
+/// reg.push(alive, 100.0);
+/// reg.push(drops, 0.0);
+/// assert_eq!(reg.len(), 2);
+/// assert_eq!(reg.get(alive).ring().latest(), Some(100.0));
+/// assert_eq!(reg.get(drops).kind(), SeriesKind::Counter);
+/// // Re-registering the same name returns the same handle.
+/// assert_eq!(reg.gauge("alive", "nodes"), alive);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesRegistry {
+    window: usize,
+    series: Vec<TelemetrySeries>,
+}
+
+impl SeriesRegistry {
+    /// Creates an empty registry whose series each retain `window`
+    /// samples (clamped to at least 1).
+    pub fn new(window: usize) -> Self {
+        SeriesRegistry {
+            window: window.max(1),
+            series: Vec::new(),
+        }
+    }
+
+    /// Registers (or looks up) a gauge series.
+    pub fn gauge(&mut self, name: &str, unit: &str) -> SeriesId {
+        self.register(name, unit, SeriesKind::Gauge)
+    }
+
+    /// Registers (or looks up) a counter series.
+    pub fn counter(&mut self, name: &str, unit: &str) -> SeriesId {
+        self.register(name, unit, SeriesKind::Counter)
+    }
+
+    fn register(&mut self, name: &str, unit: &str, kind: SeriesKind) -> SeriesId {
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            return SeriesId(i);
+        }
+        self.series.push(TelemetrySeries {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            kind,
+            ring: SampleRing::new(self.window),
+        });
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Appends a sample to the identified series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this registry.
+    pub fn push(&mut self, id: SeriesId, v: f64) {
+        self.series[id.0].ring.push(v);
+    }
+
+    /// The identified series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this registry.
+    pub fn get(&self, id: SeriesId) -> &TelemetrySeries {
+        &self.series[id.0]
+    }
+
+    /// Iterates the series in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &TelemetrySeries> {
+        self.series.iter()
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The shared window width every ring was created with.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The largest `pushed()` count across all series — the dashboard
+    /// tick counter.
+    pub fn ticks(&self) -> u64 {
+        self.series
+            .iter()
+            .map(|s| s.ring.pushed())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_ordered() {
+        let mut reg = SeriesRegistry::new(16);
+        let a = reg.gauge("a", "x");
+        let b = reg.counter("b", "y");
+        assert_eq!(reg.gauge("a", "x"), a);
+        // A kind mismatch on re-registration still returns the
+        // original series — the first declaration wins.
+        assert_eq!(reg.counter("a", "x"), a);
+        assert_eq!(reg.get(a).kind(), SeriesKind::Gauge);
+        let names: Vec<&str> = reg.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(reg.get(b).unit(), "y");
+    }
+
+    #[test]
+    fn push_lands_in_the_right_ring() {
+        let mut reg = SeriesRegistry::new(2);
+        let a = reg.gauge("a", "");
+        let b = reg.gauge("b", "");
+        reg.push(a, 1.0);
+        reg.push(a, 2.0);
+        reg.push(a, 3.0);
+        reg.push(b, 9.0);
+        assert_eq!(reg.get(a).ring().to_vec(), vec![2.0, 3.0]);
+        assert_eq!(reg.get(b).ring().to_vec(), vec![9.0]);
+        assert_eq!(reg.ticks(), 3);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(SeriesKind::Gauge.label(), "gauge");
+        assert_eq!(SeriesKind::Counter.label(), "counter");
+    }
+}

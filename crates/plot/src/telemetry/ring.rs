@@ -1,0 +1,164 @@
+//! Fixed-capacity sample window backing every live-telemetry series.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring of `f64` samples.
+///
+/// Pushing beyond capacity evicts the oldest sample, so the ring
+/// always holds the most recent window — the shape a live dashboard
+/// charts. The ring also remembers how many samples were ever pushed,
+/// so renderers can label the window's absolute tick range.
+///
+/// # Example
+///
+/// ```
+/// use sociolearn_plot::SampleRing;
+///
+/// let mut ring = SampleRing::new(3);
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     ring.push(v);
+/// }
+/// // Capacity 3: the oldest sample (1.0) was evicted.
+/// assert_eq!(ring.to_vec(), vec![2.0, 3.0, 4.0]);
+/// assert_eq!(ring.pushed(), 4);
+/// assert_eq!(ring.latest(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRing {
+    buf: VecDeque<f64>,
+    cap: usize,
+    pushed: u64,
+}
+
+impl SampleRing {
+    /// Creates an empty ring holding at most `cap` samples (clamped to
+    /// at least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SampleRing {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest one if the ring is full.
+    pub fn push(&mut self, v: f64) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(v);
+        self.pushed += 1;
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of samples the window retains.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total number of samples ever pushed (evicted ones included).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<f64> {
+        self.buf.back().copied()
+    }
+
+    /// Iterates the window oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Copies the window, oldest-first, into a fresh `Vec` (the shape
+    /// [`AsciiChart`](crate::AsciiChart) and the SVG renderer consume).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Smallest finite sample in the window, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.finite_fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest finite sample in the window, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.finite_fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn finite_fold(&self, init: f64, f: fn(f64, f64) -> f64) -> Option<f64> {
+        let mut acc = init;
+        let mut seen = false;
+        for v in self.buf.iter().copied().filter(|v| v.is_finite()) {
+            acc = f(acc, v);
+            seen = true;
+        }
+        seen.then_some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_keeps_the_newest_window() {
+        let mut ring = SampleRing::new(4);
+        for v in 0..10 {
+            ring.push(v as f64);
+        }
+        assert_eq!(ring.to_vec(), vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut ring = SampleRing::new(8);
+        ring.push(1.5);
+        ring.push(2.5);
+        assert_eq!(ring.to_vec(), vec![1.5, 2.5]);
+        assert_eq!(ring.capacity(), 8);
+        assert_eq!(ring.latest(), Some(2.5));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = SampleRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(1.0);
+        ring.push(2.0);
+        assert_eq!(ring.to_vec(), vec![2.0]);
+    }
+
+    #[test]
+    fn min_max_skip_non_finite() {
+        let mut ring = SampleRing::new(5);
+        ring.push(f64::NAN);
+        ring.push(3.0);
+        ring.push(-1.0);
+        ring.push(f64::INFINITY);
+        assert_eq!(ring.min(), Some(-1.0));
+        assert_eq!(ring.max(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_ring_has_no_extrema() {
+        let ring = SampleRing::new(3);
+        assert!(ring.is_empty());
+        assert_eq!(ring.min(), None);
+        assert_eq!(ring.max(), None);
+        assert_eq!(ring.latest(), None);
+    }
+}

@@ -193,6 +193,32 @@ fn dist_runtime_benches(c: &mut Criterion) {
             },
         );
 
+        // The multi-core execution path: the same sharded deployment
+        // with a 4-window lookahead block and a 4-thread worker pool.
+        // Lookahead K > 1 is a *different* (equally valid) trajectory
+        // — messages defer to block boundaries — so this row is not
+        // byte-comparable to `event_sharded8`, only cost-comparable.
+        // On a multi-core host the pool fans the per-window node sweep
+        // across cores; on a single-core host it measures the
+        // synchronization overhead ceiling instead.
+        group.bench_with_input(
+            BenchmarkId::new(format!("event_sharded{BENCH_SHARDS}_look4_t4"), n),
+            &n,
+            |b, &n| {
+                let mut net = EventRuntime::new(DistConfig::new(bench_params(M), n), 3)
+                    .with_scheduler(SchedulerKind::ShardedCalendar {
+                        shards: BENCH_SHARDS,
+                    })
+                    .with_lookahead(4)
+                    .with_threads(4);
+                let mut t = 0usize;
+                b.iter(|| {
+                    net.tick(&rewards[t % rewards.len()]);
+                    t += 1;
+                });
+            },
+        );
+
         // The same sharded deployment driven through the telemetry
         // observer hook with a live `MetricsRecorder` attached. The
         // sink sees every tick (per-shard loads included), so the
@@ -268,6 +294,28 @@ fn dist_runtime_benches(c: &mut Criterion) {
                     .with_scheduler(SchedulerKind::ShardedCalendar {
                         shards: BENCH_SHARDS,
                     });
+                let mut t = 0usize;
+                b.iter(|| {
+                    net.tick(&rewards[t % rewards.len()]);
+                    t += 1;
+                });
+            },
+        );
+
+        // Fully-async with lookahead blocks and the worker pool — the
+        // multi-core headline row (see the quiesced `_look4_t4` note on
+        // trajectory comparability).
+        group.bench_with_input(
+            BenchmarkId::new(format!("event_async_sharded{BENCH_SHARDS}_look4_t4"), n),
+            &n,
+            |b, &n| {
+                let mut net = EventRuntime::new(DistConfig::new(bench_params(M), n), 3)
+                    .with_async_epochs(StalenessBound::Unbounded)
+                    .with_scheduler(SchedulerKind::ShardedCalendar {
+                        shards: BENCH_SHARDS,
+                    })
+                    .with_lookahead(4)
+                    .with_threads(4);
                 let mut t = 0usize;
                 b.iter(|| {
                     net.tick(&rewards[t % rewards.len()]);

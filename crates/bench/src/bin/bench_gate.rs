@@ -86,17 +86,25 @@ fn field_bool(obj: &str, key: &str) -> Option<bool> {
 }
 
 /// Parses every benchmark row out of a bench report.
-fn parse_rows(json: &str) -> Vec<Row> {
+///
+/// # Errors
+///
+/// A fragment that names a runtime but lacks a parseable `n` or
+/// `ns_per_round` is a **hard error naming the row**, not a skip — a
+/// silently dropped row would also silently leave the gate, and a
+/// mangled baseline must fail loudly rather than pass vacuously.
+fn parse_rows(json: &str) -> Result<Vec<Row>, String> {
     let mut rows = Vec::new();
     // Rows are the only objects in the report carrying a "runtime"
     // key, so splitting on '{' and probing each fragment is enough.
     for obj in json.split('{').skip(1) {
-        let (Some(runtime), Some(n), Some(ns)) = (
-            field_str(obj, "runtime"),
-            field_num(obj, "n"),
-            field_num(obj, "ns_per_round"),
-        ) else {
+        let Some(runtime) = field_str(obj, "runtime") else {
             continue;
+        };
+        let (Some(n), Some(ns)) = (field_num(obj, "n"), field_num(obj, "ns_per_round")) else {
+            return Err(format!(
+                "row {runtime:?} is missing a parseable \"n\" or \"ns_per_round\" value"
+            ));
         };
         rows.push(Row {
             runtime,
@@ -105,13 +113,13 @@ fn parse_rows(json: &str) -> Vec<Row> {
             gated: field_bool(obj, "gated"),
         });
     }
-    rows
+    Ok(rows)
 }
 
 fn load(path: &Path) -> Result<Vec<Row>, String> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let rows = parse_rows(&json);
+    let rows = parse_rows(&json).map_err(|e| format!("{}: {e}", path.display()))?;
     if rows.is_empty() {
         return Err(format!("no benchmark rows found in {}", path.display()));
     }
@@ -134,6 +142,18 @@ enum Verdict {
     Regressed,
     MissingInFresh,
     NotGated,
+    /// The gated baseline value is zero or non-finite: a ratio against
+    /// it is meaningless (0 would read "infinitely regressed" for any
+    /// real fresh value), so the gate fails naming the row instead.
+    InvalidBaseline,
+    /// The gated fresh value is zero or non-finite — a broken bench
+    /// run must not slip through as an "improvement".
+    InvalidFresh,
+}
+
+/// A usable ns/round measurement: finite and strictly positive.
+fn valid_ns(ns: f64) -> bool {
+    ns.is_finite() && ns > 0.0
 }
 
 /// Compares fresh against baseline, returning one `(runtime, n,
@@ -151,8 +171,10 @@ fn compare(
         let gate = b.gated.unwrap_or(b.n == gate_n);
         let fresh_row = fresh.iter().find(|f| f.runtime == b.runtime && f.n == b.n);
         let verdict = match fresh_row {
+            _ if gate && !valid_ns(b.ns_per_round) => Verdict::InvalidBaseline,
             None if gate => Verdict::MissingInFresh,
             None => Verdict::NotGated,
+            Some(f) if gate && !valid_ns(f.ns_per_round) => Verdict::InvalidFresh,
             Some(f) => {
                 let ratio = f.ns_per_round / b.ns_per_round;
                 if !gate {
@@ -258,6 +280,14 @@ fn main() -> ExitCode {
                 failures += 1;
                 "MISSING in fresh report"
             }
+            Verdict::InvalidBaseline => {
+                failures += 1;
+                "INVALID baseline (zero or non-finite ns)"
+            }
+            Verdict::InvalidFresh => {
+                failures += 1;
+                "INVALID fresh value (zero or non-finite ns)"
+            }
             Verdict::NotGated => "not gated",
         };
         println!(
@@ -316,7 +346,7 @@ mod tests {
   ]
 }
 "#;
-        let rows = parse_rows(json);
+        let rows = parse_rows(json).expect("well-formed report");
         assert_eq!(
             rows,
             vec![
@@ -324,6 +354,59 @@ mod tests {
                 row("event_async", 100_000, 254_300_760.0),
             ]
         );
+    }
+
+    #[test]
+    fn row_missing_its_ns_value_is_a_named_hard_error() {
+        // A gated row whose measurement vanished must not be silently
+        // dropped from the comparison — that would pass the gate
+        // without gating anything.
+        let json = r#"{
+  "results": [
+    { "runtime": "event_sharded8", "n": 100000 },
+    { "runtime": "round_sync", "n": 1000, "ns_per_round": 23558.2 }
+  ]
+}
+"#;
+        let err = parse_rows(json).expect_err("must fail");
+        assert!(
+            err.contains("event_sharded8") && err.contains("ns_per_round"),
+            "error must name the broken row, got {err:?}"
+        );
+        let unparseable = r#"{ "runtime": "event_async", "n": 100000, "ns_per_round": "fast" }"#;
+        let err = parse_rows(unparseable).expect_err("must fail");
+        assert!(err.contains("event_async"), "got {err:?}");
+    }
+
+    #[test]
+    fn zero_or_nonfinite_gated_baseline_fails_with_the_row_named() {
+        let baseline = vec![
+            gated_row("zeroed", GATE_N, 0.0),
+            gated_row("nan_row", GATE_N, f64::NAN),
+            gated_row("fine", GATE_N, 100.0),
+        ];
+        let fresh = vec![
+            row("zeroed", GATE_N, 100.0),
+            row("nan_row", GATE_N, 100.0),
+            row("fine", GATE_N, 100.0),
+        ];
+        let report = compare(&baseline, &fresh, GATE_N, 0.2);
+        assert_eq!(report[0].4, Verdict::InvalidBaseline);
+        assert_eq!(report[0].0, "zeroed");
+        assert_eq!(report[1].4, Verdict::InvalidBaseline);
+        assert_eq!(report[2].4, Verdict::Ok);
+        // A zero baseline with no fresh row is still the baseline's
+        // fault — named as invalid, not "missing".
+        let report = compare(&[gated_row("zeroed", GATE_N, 0.0)], &[], GATE_N, 0.2);
+        assert_eq!(report[0].4, Verdict::InvalidBaseline);
+    }
+
+    #[test]
+    fn zero_fresh_value_on_a_gated_row_is_not_an_improvement() {
+        let baseline = vec![gated_row("a", GATE_N, 100.0)];
+        let fresh = vec![row("a", GATE_N, 0.0)];
+        let report = compare(&baseline, &fresh, GATE_N, 0.2);
+        assert_eq!(report[0].4, Verdict::InvalidFresh);
     }
 
     #[test]
@@ -364,7 +447,7 @@ mod tests {
   ]
 }
 "#;
-        let rows = parse_rows(json);
+        let rows = parse_rows(json).expect("well-formed report");
         assert_eq!(
             rows,
             vec![

@@ -18,10 +18,44 @@
 //! per-node state of a contiguous node block and advances its own
 //! local event stream one time window at a time, handing cross-shard
 //! messages to per-shard-pair mailboxes that are drained at window
-//! boundaries. Shards run on the `sociolearn_sim::parallel_map`
-//! scoped-thread pool when a window is dense enough to pay for the
-//! fan-out, and fall back to an in-thread sweep (with identical
-//! results) when it is not.
+//! boundaries. Shards run on a persistent
+//! [`sociolearn_sim::WorkerPool`] when a window is dense enough to pay
+//! for the fan-out, and fall back to an in-thread sweep (with
+//! identical results) when it is not.
+//!
+//! # Lookahead: multi-core execution in K-window blocks
+//!
+//! The protocol's message-latency floor is the classic
+//! conservative-PDES *lookahead*: every `QueryArrive`/`ReplyArrive`
+//! travels at least one tick, so shards can safely advance more than
+//! one window between synchronizations. With
+//! [`EventRuntime::with_lookahead(K)`] the virtual-time axis is cut
+//! into blocks of K windows at absolute multiples of K, each lane
+//! processes a whole block from its own calendar with **no**
+//! cross-shard synchronization inside it, and the per-shard-pair
+//! mailboxes are drained once at the block barrier. What makes that
+//! sound is a *message due-time adjustment*: a message sent at `now`
+//! with latency `l` becomes due at `max(now + l, block_end(now))` —
+//! never inside the sender's current block. The adjustment applies to
+//! every message, same-shard or cross-shard, so it is a property of
+//! the *trajectory*, not of the partition: for a fixed K the results
+//! stay byte-identical across shard counts and thread counts. At the
+//! default `K = 1`, `block_end(now) = now + 1 <= now + l`, so the
+//! adjustment is the identity and existing seeds replay bit-for-bit.
+//! `K` is capped at [`MAX_LOOKAHEAD`]`= MAX_MESSAGE_LATENCY`, which
+//! keeps two invariants intact: no adjusted delay exceeds the
+//! protocol's existing latency ceiling (so the calendar ring horizon
+//! is unchanged and `Calendar::push` cannot hit its ring-collision
+//! panic), and a query round trip still always beats its retry
+//! timeout (`2·max(l, K) + 2·DELIVER_DELAY < RETRY_TIMEOUT`), so the
+//! retry/fallback structure of the law is preserved. Lanes run on a
+//! persistent worker-thread pool ([`with_threads`]) — each lane's
+//! block is a pure function of the lane and the shared tick context,
+//! so the thread count only changes where work runs, never what it
+//! computes.
+//!
+//! [`EventRuntime::with_lookahead(K)`]: crate::EventRuntime::with_lookahead
+//! [`with_threads`]: crate::EventRuntime::with_threads
 //!
 //! # Determinism contract
 //!
@@ -37,11 +71,12 @@
 //!   root seed (one `SmallRng` per node, seeded via a SplitMix64
 //!   derivation). A node draws only from its own stream, so regrouping
 //!   nodes into different shard counts cannot reorder anyone's draws.
-//! * The window width is one virtual-time tick, and every event the
-//!   protocol schedules has a strictly positive delay, so nothing
-//!   produced inside a window can be due in that same window —
-//!   cross-shard mailboxes drained at the boundary always deliver in
-//!   time, and shards never need to peek at each other mid-window.
+//! * Every event the protocol schedules has a strictly positive
+//!   delay, and under lookahead K every *message* is additionally
+//!   deferred to the sender's block boundary, so nothing produced
+//!   inside a K-window block can be due in that same block —
+//!   cross-shard mailboxes drained at the barrier always deliver in
+//!   time, and shards never need to peek at each other mid-block.
 //!
 //! Together these give the invariant the proptest suite pins down:
 //! for a fixed seed, ticks produce **byte-identical metrics and
@@ -72,17 +107,19 @@
 //! [`FaultPlan`]: crate::FaultPlan
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sociolearn_core::Params;
-use sociolearn_sim::parallel_map;
+use sociolearn_sim::WorkerPool;
 
 use crate::cast::index_u32;
 use crate::event::{
     Event, Mode, Msg, Pending, StalenessBound, ASYNC_EPOCH_PERIOD, ASYNC_WAKE_JITTER,
     DELIVER_DELAY, MAX_MESSAGE_LATENCY, RETRY_TIMEOUT, WAKE_SPREAD,
 };
+use crate::soa::{AlignedU32s, AlignedU64s};
 use crate::{
     DistConfig, MembershipTracker, NodeState, RoundMetrics, Transition, MAX_QUERY_RETRIES,
     NO_CHOICE,
@@ -101,11 +138,62 @@ const _: () = assert!(ASYNC_EPOCH_PERIOD + ASYNC_WAKE_JITTER < RING_SLOTS as u64
 const _: () = assert!(WAKE_SPREAD < RING_SLOTS as u64);
 const _: () = assert!(RETRY_TIMEOUT < RING_SLOTS as u64);
 
-/// Fewest due events in a window before the engine fans the shards out
-/// on the thread pool; sparser windows are swept in-thread (the two
+/// Fewest due events in a block before the engine fans the shards out
+/// on the thread pool; sparser blocks are swept in-thread (the two
 /// paths produce identical results — this is a cost knob, not a
-/// semantic one).
-const PARALLEL_WINDOW_EVENTS: usize = 2_048;
+/// semantic one). Overridable per runtime via
+/// [`EventRuntime::with_parallel_threshold`](crate::EventRuntime::with_parallel_threshold).
+pub(crate) const PARALLEL_WINDOW_EVENTS: usize = 2_048;
+
+/// Largest accepted lookahead `K` for
+/// [`EventRuntime::with_lookahead`](crate::EventRuntime::with_lookahead).
+///
+/// Tied to [`MAX_MESSAGE_LATENCY`]: the lookahead adjustment defers a
+/// message due at `now + l` to at most `now + max(l, K)`, so with
+/// `K <= MAX_MESSAGE_LATENCY` no event's delay ever exceeds the
+/// protocol's existing latency ceiling. That is the ring-horizon
+/// guard (a K-window block can never push an entry beyond one
+/// [`RING_SLOTS`] rotation, so `Calendar::push`'s collision panic is
+/// unreachable) and the law guard (a query round trip still beats its
+/// retry timeout — checked below).
+pub const MAX_LOOKAHEAD: u64 = MAX_MESSAGE_LATENCY;
+
+// The lookahead cap may not extend the scheduling horizon beyond the
+// latency ceiling already covered by the ring asserts above...
+const _: () = assert!(MAX_LOOKAHEAD <= MAX_MESSAGE_LATENCY);
+// ...and a maximally-deferred query + reply round trip (each leg at
+// most max(MAX_MESSAGE_LATENCY, MAX_LOOKAHEAD) = MAX_MESSAGE_LATENCY,
+// plus an inbox Deliver hop per leg) must still preempt the sender's
+// retry timeout, or lookahead would change the retry/fallback law.
+const _: () = assert!(2 * MAX_MESSAGE_LATENCY + 2 * DELIVER_DELAY < RETRY_TIMEOUT);
+
+/// The absolute-time end of the lookahead block containing `now`:
+/// the next multiple of `lookahead` strictly after `now`.
+#[inline]
+fn block_end_of(now: u64, lookahead: u64) -> u64 {
+    (now / lookahead + 1) * lookahead
+}
+
+/// The due time of a message sent at `now` with `latency`: deferred
+/// to the sender's block boundary under lookahead (the identity when
+/// `lookahead == 1`, since `latency >= 1`). Partition-independent —
+/// it applies whether or not the message crosses shards — which is
+/// what keeps trajectories byte-identical across shard counts.
+#[inline]
+fn msg_at(now: u64, latency: u64, ctx: &Ctx) -> u64 {
+    (now + latency).max(block_end_of(now, ctx.lookahead))
+}
+
+/// Resolves the `threads` knob: `0` means "ask the OS", anything else
+/// is taken literally. Thread count never affects results — only how
+/// many cores sweep the lanes of a dense block.
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
 
 /// Which scheduler drives the [`EventRuntime`](crate::EventRuntime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -401,8 +489,36 @@ impl ShardMap {
     }
 }
 
-/// Read-only per-tick context shared by every shard.
-struct Ctx<'a> {
+/// Execution-tuning knobs the [`EventRuntime`](crate::EventRuntime)
+/// hands the engine each tick: none of them changes results, only
+/// where and in how large blocks the work runs (`lookahead` changes
+/// the trajectory — deliberately — but never varies with `threads`
+/// or `parallel_threshold`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ExecTuning {
+    /// Block width K in windows; 1 = the classic per-window barrier.
+    pub(crate) lookahead: u64,
+    /// Worker threads for dense blocks; 0 = auto (one per core),
+    /// 1 = always in-thread.
+    pub(crate) threads: usize,
+    /// Fewest due events in a block before fanning out.
+    pub(crate) parallel_threshold: usize,
+}
+
+impl Default for ExecTuning {
+    fn default() -> Self {
+        ExecTuning {
+            lookahead: 1,
+            threads: 0,
+            parallel_threshold: PARALLEL_WINDOW_EVENTS,
+        }
+    }
+}
+
+/// Read-only per-tick context shared by every shard. Owned (no
+/// borrows) so lane jobs holding an `Arc<Ctx>` are `'static` and can
+/// run on the persistent worker pool.
+struct Ctx {
     params: Params,
     mode: Mode,
     n: usize,
@@ -417,8 +533,14 @@ struct Ctx<'a> {
     queue_bound: usize,
     /// The 1-based runtime round (the membership clock).
     t: u64,
-    rewards: &'a [bool],
-    members: &'a MembershipTracker,
+    /// Lookahead block width K (windows per barrier).
+    lookahead: u64,
+    rewards: Vec<bool>,
+    /// Per-node presence this round, indexed by global node id — a
+    /// snapshot of `MembershipTracker::is_present` maintained
+    /// incrementally by the engine so worker threads never touch the
+    /// tracker itself.
+    present: Arc<Vec<bool>>,
 }
 
 /// Per-node protocol state a [`ShardLane`] owns — the same inventory
@@ -437,25 +559,31 @@ const _: () = assert!(SHARD_LANE_NODE_STATE_BYTES <= 6 * crate::NODE_STATE_BYTES
 
 /// One shard: the full per-node state of a contiguous node range, its
 /// calendar, and one outbound mailbox per peer shard.
+///
+/// The per-node scalars swept every window — commitments, epochs,
+/// sequence counters — live in cache-line-aligned struct-of-arrays
+/// ([`AlignedU32s`]/[`AlignedU64s`]): each lane's arrays start on
+/// their own 64-byte line (no false sharing between lanes on worker
+/// threads) and the inner loops stream whole lines.
 #[derive(Debug, Clone)]
 struct ShardLane {
     index: usize,
     /// First global node id owned by this lane.
     base: u32,
     // Per-node state, indexed by `global - base`.
-    choices: Vec<NodeState>,
-    back: Vec<NodeState>,
-    epochs: Vec<u64>,
-    last_wake: Vec<u64>,
+    choices: AlignedU32s,
+    back: AlignedU32s,
+    epochs: AlignedU64s,
+    last_wake: AlignedU64s,
     pending: Vec<Pending>,
     inboxes: Vec<VecDeque<Msg>>,
     rngs: Vec<SmallRng>,
-    seqs: Vec<u32>,
+    seqs: AlignedU32s,
     /// Per-node incarnation counters, bumped on every leave so a
     /// wake-up scheduled in an earlier life dies on arrival (async
     /// mode; quiesced epochs clear their schedule so the tag is
     /// inert there).
-    incs: Vec<u32>,
+    incs: AlignedU32s,
     /// Whether each node is bootstrapping — (re)joined and not yet
     /// through its first epoch decision (async mode).
     boot: Vec<bool>,
@@ -479,7 +607,7 @@ impl ShardLane {
     /// Tags and routes an event produced by global node `src`: its own
     /// calendar when the target is local, the matching mailbox when it
     /// is not.
-    fn push_from(&mut self, src: u32, at: u64, ev: Event, ctx: &Ctx<'_>) {
+    fn push_from(&mut self, src: u32, at: u64, ev: Event, ctx: &Ctx) {
         let local = (src - self.base) as usize;
         let seq = self.seqs[local];
         self.seqs[local] = seq.wrapping_add(1);
@@ -503,14 +631,14 @@ impl ShardLane {
     }
 
     /// Whether a message sent by `local` is lost on the link.
-    fn link_drops(&mut self, local: usize, ctx: &Ctx<'_>) -> bool {
+    fn link_drops(&mut self, local: usize, ctx: &Ctx) -> bool {
         ctx.drop_prob > 0.0 && self.rngs[local].gen_bool(ctx.drop_prob)
     }
 
     /// Offers `msg` to a local node's bounded inbox; schedules the
     /// matching `Deliver` on success, counts a backpressure drop on
     /// overflow. Mirrors the single-heap `enqueue`.
-    fn enqueue(&mut self, local: usize, msg: Msg, now: u64, ctx: &Ctx<'_>) {
+    fn enqueue(&mut self, local: usize, msg: Msg, now: u64, ctx: &Ctx) {
         let inbox = &mut self.inboxes[local];
         if inbox.len() >= ctx.queue_bound {
             self.rm.queue_drops += 1;
@@ -545,7 +673,7 @@ impl ShardLane {
     // ---- tests/equivalence.rs are the tripwire, not the guarantee.
 
     /// Quiesced stage 1 resolution + stage 2 adoption.
-    fn decide_q(&mut self, local: usize, considered: u32, ctx: &Ctx<'_>) {
+    fn decide_q(&mut self, local: usize, considered: u32, ctx: &Ctx) {
         debug_assert!(!self.pending[local].resolved, "node resolved twice");
         self.pending[local].resolved = true;
         let adopt_p = ctx
@@ -560,7 +688,7 @@ impl ShardLane {
 
     /// Quiesced query attempt (or µ-exploration on attempt 1, or the
     /// uniform fallback once the retry budget is spent).
-    fn start_attempt_q(&mut self, local: usize, attempt: u32, now: u64, ctx: &Ctx<'_>) {
+    fn start_attempt_q(&mut self, local: usize, attempt: u32, now: u64, ctx: &Ctx) {
         let node = self.base + index_u32(local);
         if attempt == 1 && self.rngs[local].gen_bool(ctx.mu) {
             self.rm.explorations += 1;
@@ -592,7 +720,7 @@ impl ShardLane {
             ctx,
         );
         if !self.link_drops(local, ctx) {
-            let at = now + self.latency(local);
+            let at = msg_at(now, self.latency(local), ctx);
             self.push_from(
                 node,
                 at,
@@ -607,7 +735,7 @@ impl ShardLane {
     }
 
     /// Quiesced inbox head processing.
-    fn deliver_q(&mut self, local: usize, now: u64, ctx: &Ctx<'_>) {
+    fn deliver_q(&mut self, local: usize, now: u64, ctx: &Ctx) {
         let Some(msg) = self.inboxes[local].pop_front() else {
             return;
         };
@@ -615,7 +743,7 @@ impl ShardLane {
             Msg::Query { from, epoch: _ } => {
                 let option = self.back[local];
                 if option != NO_CHOICE && !self.link_drops(local, ctx) {
-                    let at = now + self.latency(local);
+                    let at = msg_at(now, self.latency(local), ctx);
                     let node = self.base + index_u32(local);
                     self.push_from(node, at, Event::ReplyArrive { node: from, option }, ctx);
                 }
@@ -634,7 +762,7 @@ impl ShardLane {
     /// present nodes at per-node jittered times. A node that just
     /// (re)joined has `back == NO_CHOICE` (absent epochs write
     /// NO_CHOICE) and bootstraps through the ordinary query path.
-    fn begin_epoch(&mut self, ctx: &Ctx<'_>) {
+    fn begin_epoch(&mut self, ctx: &Ctx) {
         std::mem::swap(&mut self.choices, &mut self.back);
         self.counts.fill(0);
         self.rm = RoundMetrics::default();
@@ -643,7 +771,7 @@ impl ShardLane {
             self.choices[local] = NO_CHOICE;
             debug_assert!(self.inboxes[local].is_empty(), "previous epoch left mail");
             let node = self.base + index_u32(local);
-            if ctx.members.is_present(node as usize) {
+            if ctx.present[node as usize] {
                 self.rm.alive += 1;
                 self.pending[local] = Pending::default();
                 let at = self.rngs[local].gen_range(0..WAKE_SPREAD);
@@ -661,13 +789,13 @@ impl ShardLane {
     }
 
     /// Handles one due quiesced-mode event.
-    fn handle_q(&mut self, entry: Entry<Event>, now: u64, ctx: &Ctx<'_>) {
+    fn handle_q(&mut self, entry: Entry<Event>, now: u64, ctx: &Ctx) {
         match entry.payload {
             Event::Wake { node, .. } => {
                 self.start_attempt_q((node - self.base) as usize, 1, now, ctx);
             }
             Event::QueryArrive { from, to, epoch } => {
-                if !ctx.has_faults || ctx.members.is_present(to as usize) {
+                if !ctx.has_faults || ctx.present[to as usize] {
                     self.enqueue(
                         (to - self.base) as usize,
                         Msg::Query { from, epoch },
@@ -699,7 +827,7 @@ impl ShardLane {
     // ---- staleness filtering, cadence-scheduled wake-ups.
 
     /// Async stage 2 + local-epoch completion + next wake-up.
-    fn decide_async(&mut self, local: usize, considered: u32, now: u64, ctx: &Ctx<'_>) {
+    fn decide_async(&mut self, local: usize, considered: u32, now: u64, ctx: &Ctx) {
         debug_assert!(!self.pending[local].resolved, "node resolved twice");
         self.pending[local].resolved = true;
         if self.boot[local] {
@@ -734,7 +862,7 @@ impl ShardLane {
     }
 
     /// Async query attempt with epoch-tagged timeout/query events.
-    fn start_attempt_async(&mut self, local: usize, attempt: u32, now: u64, ctx: &Ctx<'_>) {
+    fn start_attempt_async(&mut self, local: usize, attempt: u32, now: u64, ctx: &Ctx) {
         let node = self.base + index_u32(local);
         if attempt == 1 && self.rngs[local].gen_bool(ctx.mu) {
             self.rm.explorations += 1;
@@ -767,7 +895,7 @@ impl ShardLane {
             ctx,
         );
         if !self.link_drops(local, ctx) {
-            let at = now + self.latency(local);
+            let at = msg_at(now, self.latency(local), ctx);
             self.push_from(
                 node,
                 at,
@@ -783,7 +911,7 @@ impl ShardLane {
 
     /// Async inbox head processing with responder-side staleness
     /// filtering.
-    fn deliver_async(&mut self, local: usize, now: u64, ctx: &Ctx<'_>, bound: StalenessBound) {
+    fn deliver_async(&mut self, local: usize, now: u64, ctx: &Ctx, bound: StalenessBound) {
         let Some(msg) = self.inboxes[local].pop_front() else {
             return;
         };
@@ -804,7 +932,7 @@ impl ShardLane {
                     return;
                 }
                 if !self.link_drops(local, ctx) {
-                    let at = now + self.latency(local);
+                    let at = msg_at(now, self.latency(local), ctx);
                     let node = self.base + index_u32(local);
                     self.push_from(node, at, Event::ReplyArrive { node: from, option }, ctx);
                 }
@@ -820,27 +948,21 @@ impl ShardLane {
     }
 
     /// Handles one due fully-async event.
-    fn handle_async(
-        &mut self,
-        entry: Entry<Event>,
-        now: u64,
-        ctx: &Ctx<'_>,
-        bound: StalenessBound,
-    ) {
+    fn handle_async(&mut self, entry: Entry<Event>, now: u64, ctx: &Ctx, bound: StalenessBound) {
         match entry.payload {
             Event::Wake { node, inc } => {
                 let local = (node - self.base) as usize;
                 // The incarnation tag kills wake-ups scheduled before
                 // a leave: they are the only events whose horizon
                 // outlives a one-round absence.
-                if ctx.members.is_present(node as usize) && inc == self.incs[local] {
+                if ctx.present[node as usize] && inc == self.incs[local] {
                     self.pending[local] = Pending::default();
                     self.last_wake[local] = now;
                     self.start_attempt_async(local, 1, now, ctx);
                 }
             }
             Event::QueryArrive { from, to, epoch } => {
-                if ctx.members.is_present(to as usize) {
+                if ctx.present[to as usize] {
                     self.enqueue(
                         (to - self.base) as usize,
                         Msg::Query { from, epoch },
@@ -850,13 +972,13 @@ impl ShardLane {
                 }
             }
             Event::ReplyArrive { node, option } => {
-                if ctx.members.is_present(node as usize) {
+                if ctx.present[node as usize] {
                     self.enqueue((node - self.base) as usize, Msg::Reply { option }, now, ctx);
                 }
             }
             Event::Deliver { node } => {
                 let local = (node - self.base) as usize;
-                if ctx.members.is_present(node as usize) {
+                if ctx.present[node as usize] {
                     self.deliver_async(local, now, ctx, bound);
                 } else {
                     // Keep deliveries 1:1 with enqueues even for the
@@ -870,7 +992,7 @@ impl ShardLane {
                 epoch,
             } => {
                 let local = (node - self.base) as usize;
-                if ctx.members.is_present(node as usize) {
+                if ctx.present[node as usize] {
                     let p = self.pending[local];
                     if !p.resolved && p.attempt == attempt && self.epochs[local] + 1 == epoch {
                         self.start_attempt_async(local, attempt + 1, now, ctx);
@@ -881,7 +1003,7 @@ impl ShardLane {
     }
 
     /// Processes every event due at `now`, in `(src, seq)` order.
-    fn run_window(&mut self, now: u64, ctx: &Ctx<'_>) {
+    fn run_window(&mut self, now: u64, ctx: &Ctx) {
         let due = self.calendar.take_due(now);
         match ctx.mode {
             Mode::Quiesced => {
@@ -896,6 +1018,28 @@ impl ShardLane {
             }
         }
         self.calendar.recycle(due);
+    }
+
+    /// Processes every window in `[start, block_end)` this lane has
+    /// events for, touching nothing outside the lane — the unit of
+    /// work a worker thread executes between barriers. Sound because
+    /// the `msg_at` deferral guarantees no event produced inside the
+    /// block (by any lane) is due before `block_end`.
+    fn run_block(&mut self, start: u64, block_end: u64, ctx: &Ctx) {
+        let mut cursor = start;
+        while let Some(w) = self.calendar.next_time(cursor) {
+            if w >= block_end {
+                break;
+            }
+            self.run_window(w, ctx);
+            cursor = w + 1;
+        }
+    }
+
+    /// Due events in this lane's calendar within `[from, to)` — at
+    /// most `MAX_LOOKAHEAD` slot peeks.
+    fn due_in(&self, from: u64, to: u64) -> usize {
+        (from..to).map(|t| self.calendar.due_len(t)).sum()
     }
 }
 
@@ -912,6 +1056,16 @@ pub(crate) struct ShardedEngine {
     async_clock: u64,
     /// Online rebalances that actually moved a lane boundary.
     rebalances: u64,
+    /// Per-node presence snapshot, maintained incrementally from
+    /// membership transitions at every tick boundary and shared with
+    /// lane jobs via the tick context. Clones of the engine share it
+    /// until the next transition (`Arc::make_mut` copies on write).
+    present: Arc<Vec<bool>>,
+    /// Persistent worker threads for dense blocks, created lazily at
+    /// first fan-out (an `Arc` so a cloned engine — the twin-runtime
+    /// test pattern — shares rather than respawns; the pool
+    /// serializes submissions internally).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ShardedEngine {
@@ -936,7 +1090,7 @@ impl ShardedEngine {
                 let base = map.base_of(index);
                 let len = map.end_of(index) - base;
                 let mut counts = vec![0u64; m];
-                let choices: Vec<NodeState> = (base..base + len)
+                let choices: AlignedU32s = (base..base + len)
                     .map(|i| {
                         if members.in_initial_fleet(i) {
                             let c = crate::uniform_start_choice(i, m);
@@ -951,16 +1105,16 @@ impl ShardedEngine {
                     index,
                     base: index_u32(base),
                     choices,
-                    back: vec![NO_CHOICE; len],
-                    epochs: vec![0; len],
-                    last_wake: vec![0; len],
+                    back: AlignedU32s::with_len(len, NO_CHOICE),
+                    epochs: AlignedU64s::with_len(len, 0),
+                    last_wake: AlignedU64s::with_len(len, 0),
                     pending: vec![Pending::default(); len],
                     inboxes: (0..len).map(|_| VecDeque::new()).collect(),
                     rngs: (0..len)
                         .map(|local| SmallRng::seed_from_u64(node_stream_seed(seed, base + local)))
                         .collect(),
-                    seqs: vec![0; len],
-                    incs: vec![0; len],
+                    seqs: AlignedU32s::with_len(len, 0),
+                    incs: AlignedU32s::with_len(len, 0),
                     boot: vec![false; len],
                     boot_count: 0,
                     counts,
@@ -971,11 +1125,14 @@ impl ShardedEngine {
                 }
             })
             .collect();
+        let present = Arc::new((0..n).map(|i| members.is_present(i)).collect());
         ShardedEngine {
             map,
             lanes,
             async_clock: 0,
             rebalances: 0,
+            present,
+            pool: None,
         }
     }
 
@@ -1059,27 +1216,36 @@ impl ShardedEngine {
             .min()
     }
 
-    /// Runs one time window on every lane — on the thread pool when
-    /// dense, in-thread when sparse (identical results either way) —
-    /// then drains the cross-shard mailboxes into the destination
-    /// calendars.
-    fn run_window(&mut self, now: u64, ctx: &Ctx<'_>) {
-        let due: usize = self.lanes.iter().map(|l| l.calendar.due_len(now)).sum();
+    /// Runs one K-window lookahead block `[start, block_end)` on every
+    /// lane — on the persistent worker pool when dense, in-thread when
+    /// sparse (identical results either way) — then drains the
+    /// cross-shard mailboxes into the destination calendars at the
+    /// barrier.
+    fn run_block(&mut self, start: u64, block_end: u64, ctx: &Arc<Ctx>, tuning: &ExecTuning) {
+        let due: usize = self.lanes.iter().map(|l| l.due_in(start, block_end)).sum();
         if due == 0 {
             return;
         }
-        if self.lanes.len() > 1 && due >= PARALLEL_WINDOW_EVENTS {
+        // `tuning.threads` arrives already resolved by `tick` —
+        // never 0 — so no OS query happens on the per-block path.
+        let threads = tuning.threads;
+        if self.lanes.len() > 1 && threads > 1 && due >= tuning.parallel_threshold {
+            let pool = Arc::clone(
+                self.pool
+                    .get_or_insert_with(|| Arc::new(WorkerPool::new(threads))),
+            );
             let lanes = std::mem::take(&mut self.lanes);
-            self.lanes = parallel_map(lanes, |mut lane| {
-                lane.run_window(now, ctx);
+            let cx = Arc::clone(ctx);
+            self.lanes = pool.map(lanes, move |mut lane| {
+                lane.run_block(start, block_end, &cx);
                 lane
             });
         } else {
             for lane in &mut self.lanes {
-                lane.run_window(now, ctx);
+                lane.run_block(start, block_end, ctx);
             }
         }
-        // Window boundary: hand cross-shard events over. Bucket order
+        // Block barrier: hand cross-shard events over. Bucket order
         // does not matter — `take_due` re-sorts by `(src, seq)` — so
         // the drain order is free to be whatever is cheapest.
         for src in 0..self.lanes.len() {
@@ -1119,6 +1285,7 @@ impl ShardedEngine {
     /// async epoch-period window of virtual time. A tick boundary
     /// carrying membership transitions first rebalances shard
     /// ownership to the new present-node load.
+    #[allow(clippy::too_many_arguments)] // the runtime's full tick context, assembled in one place
     pub(crate) fn tick(
         &mut self,
         mode: Mode,
@@ -1127,11 +1294,15 @@ impl ShardedEngine {
         members: &MembershipTracker,
         t: u64,
         rewards: &[bool],
+        tuning: &ExecTuning,
     ) -> RoundMetrics {
-        if !members.recent().is_empty() && self.lanes.len() > 1 {
-            self.rebalance(members, cfg.num_nodes());
+        if !members.recent().is_empty() {
+            self.refresh_present(members);
+            if self.lanes.len() > 1 {
+                self.rebalance(members, cfg.num_nodes());
+            }
         }
-        let ctx = Ctx {
+        let ctx = Arc::new(Ctx {
             params: *cfg.params(),
             mode,
             n: cfg.num_nodes(),
@@ -1142,13 +1313,36 @@ impl ShardedEngine {
             has_faults: members.any_scheduled(),
             queue_bound,
             t,
-            rewards,
-            members,
+            rewards: rewards.to_vec(),
+            lookahead: tuning.lookahead,
+            present: Arc::clone(&self.present),
+        });
+        // Resolve the auto thread knob exactly once per tick:
+        // `available_parallelism` is an OS query, far too expensive to
+        // repeat on the per-block path.
+        let tuning = ExecTuning {
+            threads: effective_threads(tuning.threads),
+            ..*tuning
         };
         match mode {
-            Mode::Quiesced => self.tick_quiesced(&ctx),
-            Mode::Async(_) => self.tick_async(&ctx),
+            Mode::Quiesced => self.tick_quiesced(&ctx, members, &tuning),
+            Mode::Async(_) => self.tick_async(&ctx, members, &tuning),
         }
+    }
+
+    /// Applies this tick's membership transitions to the engine's
+    /// presence snapshot — the lane-visible view shipped to worker
+    /// threads inside [`Ctx`]. Maintained incrementally so a tick
+    /// without churn shares the previous `Arc` and copies nothing.
+    fn refresh_present(&mut self, members: &MembershipTracker) {
+        let present = Arc::make_mut(&mut self.present);
+        for &(node, kind) in members.recent() {
+            present[node as usize] = matches!(kind, Transition::Join | Transition::Rejoin);
+        }
+        debug_assert!(
+            (0..present.len()).all(|i| present[i] == members.is_present(i)),
+            "presence snapshot drifted from the membership tracker"
+        );
     }
 
     /// Recomputes lane boundaries to even out *present* nodes and
@@ -1168,33 +1362,35 @@ impl ShardedEngine {
         let m = self.lanes[0].counts.len();
         let depth_watermark = self.max_queue_depth();
         let mut entries: Vec<Entry<Event>> = Vec::new();
-        let mut choices = Vec::with_capacity(n);
-        let mut back = Vec::with_capacity(n);
-        let mut epochs = Vec::with_capacity(n);
-        let mut last_wake = Vec::with_capacity(n);
+        let mut choices: Vec<u32> = Vec::with_capacity(n);
+        let mut back: Vec<u32> = Vec::with_capacity(n);
+        let mut epochs: Vec<u64> = Vec::with_capacity(n);
+        let mut last_wake: Vec<u64> = Vec::with_capacity(n);
         let mut pending = Vec::with_capacity(n);
         let mut inboxes = Vec::with_capacity(n);
         let mut rngs = Vec::with_capacity(n);
-        let mut seqs = Vec::with_capacity(n);
-        let mut incs = Vec::with_capacity(n);
+        let mut seqs: Vec<u32> = Vec::with_capacity(n);
+        let mut incs: Vec<u32> = Vec::with_capacity(n);
         let mut boot = Vec::with_capacity(n);
         // Lanes own ascending contiguous ranges, so appending in lane
-        // order flattens back to global node order.
+        // order flattens back to global node order. The aligned
+        // struct-of-arrays fields flatten through plain `Vec`s and
+        // re-chunk on the collect below.
         for mut lane in std::mem::take(&mut self.lanes) {
             debug_assert!(
                 lane.outboxes.iter().all(Vec::is_empty),
                 "rebalance crossed a window with undelivered mail"
             );
             entries.append(&mut lane.calendar.drain_all());
-            choices.append(&mut lane.choices);
-            back.append(&mut lane.back);
-            epochs.append(&mut lane.epochs);
-            last_wake.append(&mut lane.last_wake);
+            choices.extend(lane.choices.drain_all());
+            back.extend(lane.back.drain_all());
+            epochs.extend(lane.epochs.drain_all());
+            last_wake.extend(lane.last_wake.drain_all());
             pending.append(&mut lane.pending);
             inboxes.append(&mut lane.inboxes);
             rngs.append(&mut lane.rngs);
-            seqs.append(&mut lane.seqs);
-            incs.append(&mut lane.incs);
+            seqs.extend(lane.seqs.drain_all());
+            incs.extend(lane.incs.drain_all());
             boot.append(&mut lane.boot);
         }
         let mut choices = choices.into_iter();
@@ -1211,9 +1407,9 @@ impl ShardedEngine {
             .map(|index| {
                 let base = new_map.base_of(index);
                 let len = new_map.end_of(index) - base;
-                let lane_choices: Vec<NodeState> = choices.by_ref().take(len).collect();
+                let lane_choices: AlignedU32s = choices.by_ref().take(len).collect();
                 let mut counts = vec![0u64; m];
-                for &c in &lane_choices {
+                for &c in lane_choices.iter() {
                     if c != NO_CHOICE {
                         counts[c as usize] += 1;
                     }
@@ -1254,8 +1450,8 @@ impl ShardedEngine {
 
     /// Folds the tick's membership transitions into `rm`'s churn
     /// counters.
-    fn count_churn(ctx: &Ctx<'_>, rm: &mut RoundMetrics) {
-        for &(_, kind) in ctx.members.recent() {
+    fn count_churn(members: &MembershipTracker, rm: &mut RoundMetrics) {
+        for &(_, kind) in members.recent() {
             match kind {
                 Transition::Join => rm.joins += 1,
                 Transition::Leave => rm.leaves += 1,
@@ -1265,16 +1461,23 @@ impl ShardedEngine {
         }
     }
 
-    /// One epoch run to quiescence: reset, wake, then drain every
-    /// window until no lane holds a pending event.
-    fn tick_quiesced(&mut self, ctx: &Ctx<'_>) -> RoundMetrics {
+    /// One epoch run to quiescence: reset, wake, then drain the
+    /// calendar in lookahead-K blocks until no lane holds a pending
+    /// event.
+    fn tick_quiesced(
+        &mut self,
+        ctx: &Arc<Ctx>,
+        members: &MembershipTracker,
+        tuning: &ExecTuning,
+    ) -> RoundMetrics {
         for lane in &mut self.lanes {
             lane.begin_epoch(ctx);
         }
         let mut cursor = 0u64;
         while let Some(w) = self.next_window(cursor) {
-            self.run_window(w, ctx);
-            cursor = w + 1;
+            let block_end = block_end_of(w, tuning.lookahead);
+            self.run_block(w, block_end, ctx, tuning);
+            cursor = block_end;
         }
         debug_assert!(
             self.lanes
@@ -1285,15 +1488,21 @@ impl ShardedEngine {
         let mut rm = self.collect_rm(ctx.t);
         // With the quiescence barrier, every (re)join bootstraps and
         // resolves within this very epoch: the gauge is the inflow.
-        Self::count_churn(ctx, &mut rm);
+        Self::count_churn(members, &mut rm);
         rm.bootstrapping = rm.joins + rm.rejoins;
-        debug_assert_eq!(rm.alive, ctx.members.alive(), "alive counter drifted");
+        debug_assert_eq!(rm.alive, members.alive(), "alive counter drifted");
         rm
     }
 
     /// One async tick: advance through one epoch-period window of
-    /// virtual time; in-flight events survive into the next tick.
-    fn tick_async(&mut self, ctx: &Ctx<'_>) -> RoundMetrics {
+    /// virtual time in lookahead-K blocks; in-flight events survive
+    /// into the next tick.
+    fn tick_async(
+        &mut self,
+        ctx: &Arc<Ctx>,
+        members: &MembershipTracker,
+        tuning: &ExecTuning,
+    ) -> RoundMetrics {
         for lane in &mut self.lanes {
             lane.rm = RoundMetrics::default();
         }
@@ -1304,7 +1513,7 @@ impl ShardedEngine {
         // node's commitment leaves the popularity counts, its history
         // and pending attempt are wiped, and a leave bumps its
         // incarnation; a (re)joining node enters bootstrapping.
-        for &(node, kind) in ctx.members.recent() {
+        for &(node, kind) in members.recent() {
             let lane = &mut self.lanes[self.map.shard_of(node as usize)];
             let local = (node - lane.base) as usize;
             match kind {
@@ -1353,7 +1562,7 @@ impl ShardedEngine {
             for lane in &mut self.lanes {
                 for local in 0..lane.len() {
                     let node = lane.base + index_u32(local);
-                    if ctx.members.is_present(node as usize) {
+                    if ctx.present[node as usize] {
                         let at = lane.rngs[local].gen_range(0..WAKE_SPREAD);
                         lane.push_from(
                             node,
@@ -1374,13 +1583,17 @@ impl ShardedEngine {
             if w >= window_end {
                 break;
             }
-            self.run_window(w, ctx);
-            cursor = w + 1;
+            // A lookahead block never reaches past the tick boundary:
+            // events due in the next epoch period belong to the next
+            // tick's metrics window.
+            let block_end = block_end_of(w, tuning.lookahead).min(window_end);
+            self.run_block(w, block_end, ctx, tuning);
+            cursor = block_end;
         }
         self.async_clock = window_end;
         let mut rm = self.collect_rm(ctx.t);
-        rm.alive = ctx.members.alive();
-        Self::count_churn(ctx, &mut rm);
+        rm.alive = members.alive();
+        Self::count_churn(members, &mut rm);
         rm.bootstrapping = self.lanes.iter().map(|l| l.boot_count).sum();
         rm
     }

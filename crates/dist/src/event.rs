@@ -67,7 +67,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use sociolearn_core::GroupDynamics;
 
-use crate::calendar::{SchedulerKind, ShardedEngine};
+use crate::calendar::{ExecTuning, SchedulerKind, ShardedEngine, MAX_LOOKAHEAD};
 use crate::cast::index_u32;
 use crate::{
     DistConfig, ExecutionModel, MembershipTracker, Metrics, NodeState, ProtocolRuntime,
@@ -299,6 +299,9 @@ pub struct EventRuntime {
     /// [`SchedulerKind::ShardedCalendar`] is selected; `None` runs the
     /// original single-heap scheduler below.
     sharded: Option<Box<ShardedEngine>>,
+    /// Multi-core execution knobs for the sharded engine — lookahead
+    /// block width, worker-thread count, and the fan-out threshold.
+    tuning: ExecTuning,
     rng: SmallRng,
     /// This epoch's committed option per node — the fleet's protocol
     /// state, double-buffered with `back` in quiesced mode. In async
@@ -384,6 +387,7 @@ impl EventRuntime {
             mode: Mode::Quiesced,
             seed,
             sharded: None,
+            tuning: ExecTuning::default(),
             rng: SmallRng::seed_from_u64(seed),
             choices,
             back: vec![NO_CHOICE; n],
@@ -526,6 +530,90 @@ impl EventRuntime {
         assert!(bound > 0, "queue bound must be at least 1");
         self.queue_bound = bound;
         self
+    }
+
+    /// Sets the sharded engine's **lookahead block width** `K`: each
+    /// shard lane advances through `K` whole virtual-time windows
+    /// before the cross-shard mailboxes drain at a barrier, cutting
+    /// the barrier count by `K×` and giving worker threads `K` windows
+    /// of work per fan-out. Messages due inside a block are deferred
+    /// to the block boundary (`max(now + latency, block end)`), a
+    /// partition-independent rule, so for a fixed `K` results stay
+    /// byte-identical across shard counts and thread counts. `K = 1`
+    /// (the default) is exactly the classic per-window barrier —
+    /// existing seeds replay bit-for-bit; larger `K` is a different
+    /// (equally valid) trajectory of the same protocol law.
+    ///
+    /// Requires the [`SchedulerKind::ShardedCalendar`] scheduler;
+    /// [`tick`](EventRuntime::tick) panics if `K > 1` is combined with
+    /// the single-heap scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has already executed a tick, or if
+    /// `lookahead` is `0` or exceeds [`MAX_LOOKAHEAD`].
+    pub fn with_lookahead(mut self, lookahead: u64) -> Self {
+        assert_eq!(
+            self.round, 0,
+            "lookahead must be chosen before the first tick"
+        );
+        assert!(
+            (1..=MAX_LOOKAHEAD).contains(&lookahead),
+            "lookahead must be in 1..={MAX_LOOKAHEAD}, got {lookahead}"
+        );
+        self.tuning.lookahead = lookahead;
+        self
+    }
+
+    /// Sets the worker-thread count for dense lookahead blocks in the
+    /// sharded engine: `0` (the default) sizes the pool to the
+    /// machine's available parallelism, `1` always sweeps lanes
+    /// in-thread, and `t > 1` uses a persistent pool of `t` threads.
+    /// Purely a cost knob — results are byte-identical for every
+    /// value. Ignored by the single-heap scheduler (one heap has no
+    /// lanes to fan out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has already executed a tick.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert_eq!(
+            self.round, 0,
+            "thread count must be chosen before the first tick"
+        );
+        self.tuning.threads = threads;
+        self
+    }
+
+    /// Sets the fewest due events a lookahead block must hold before
+    /// the sharded engine fans its lanes out on the worker pool;
+    /// sparser blocks are swept in-thread. Purely a cost knob —
+    /// results are byte-identical for every value. Mostly useful in
+    /// tests, which set it to `0` to force the pool path at small
+    /// fleet sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has already executed a tick.
+    pub fn with_parallel_threshold(mut self, events: usize) -> Self {
+        assert_eq!(
+            self.round, 0,
+            "parallel threshold must be chosen before the first tick"
+        );
+        self.tuning.parallel_threshold = events;
+        self
+    }
+
+    /// The lookahead block width `K` (see
+    /// [`with_lookahead`](EventRuntime::with_lookahead)).
+    pub fn lookahead(&self) -> u64 {
+        self.tuning.lookahead
+    }
+
+    /// The configured worker-thread count (see
+    /// [`with_threads`](EventRuntime::with_threads); `0` = auto).
+    pub fn threads(&self) -> usize {
+        self.tuning.threads
     }
 
     /// The deployment configuration.
@@ -794,6 +882,10 @@ impl EventRuntime {
         if self.sharded.is_some() {
             return self.tick_sharded(rewards);
         }
+        assert!(
+            self.tuning.lookahead == 1,
+            "lookahead > 1 requires SchedulerKind::ShardedCalendar"
+        );
         match self.mode {
             Mode::Quiesced => self.tick_quiesced(rewards),
             Mode::Async(bound) => self.tick_async(rewards, bound),
@@ -814,6 +906,7 @@ impl EventRuntime {
             &self.members,
             t,
             rewards,
+            &self.tuning,
         );
         engine.write_counts(&mut self.counts);
         self.max_queue_depth = self.max_queue_depth.max(engine.max_queue_depth());
@@ -1755,6 +1848,101 @@ mod tests {
             );
             assert_eq!(runs[0].2, run.2, "metrics diverged across shard counts");
         }
+    }
+
+    /// Runs `ticks` rounds with the given execution knobs and returns
+    /// the full observable trajectory (distributions, round metrics,
+    /// cumulative metrics).
+    fn drive_tuned(
+        make: impl Fn() -> EventRuntime,
+        shards: usize,
+        lookahead: u64,
+        threads: usize,
+        ticks: u64,
+    ) -> (Vec<Vec<f64>>, Vec<RoundMetrics>, Metrics) {
+        let mut net = make()
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards })
+            .with_lookahead(lookahead)
+            .with_threads(threads)
+            // Force the pool path even at unit-test fleet sizes.
+            .with_parallel_threshold(0);
+        let mut dists = Vec::new();
+        let mut rms = Vec::new();
+        for t in 0..ticks {
+            rms.push(net.tick(&[t % 2 == 0, t % 3 == 0]));
+            dists.push(net.distribution());
+        }
+        (dists, rms, net.metrics())
+    }
+
+    #[test]
+    fn lookahead_results_are_byte_identical_across_shards_and_threads() {
+        let faults = FaultPlan::with_drop_prob(0.3).unwrap().crash(5, 9);
+        for async_mode in [false, true] {
+            let make = || {
+                let net = EventRuntime::new(
+                    DistConfig::new(params(), 50).with_faults(faults.clone()),
+                    11,
+                );
+                if async_mode {
+                    net.with_async_epochs(StalenessBound::Epochs(1))
+                } else {
+                    net
+                }
+            };
+            for lookahead in [2, 4] {
+                let baseline = drive_tuned(make, 1, lookahead, 1, 25);
+                for (shards, threads) in [(1, 2), (4, 1), (4, 2), (7, 2)] {
+                    let run = drive_tuned(make, shards, lookahead, threads, 25);
+                    assert_eq!(
+                        baseline, run,
+                        "trajectory diverged at async={async_mode} K={lookahead} \
+                         shards={shards} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_one_replays_the_classic_trajectory() {
+        // K = 1 must replay existing seeds bit-for-bit, pool or not.
+        let make = || EventRuntime::new(DistConfig::new(params(), 50), 11);
+        let classic = drive_kinds(make, &[SchedulerKind::ShardedCalendar { shards: 4 }], 25);
+        let tuned = drive_tuned(make, 4, 1, 2, 25);
+        assert_eq!(classic[0], tuned, "K = 1 diverged from the classic path");
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead > 1 requires SchedulerKind::ShardedCalendar")]
+    fn single_heap_tick_rejects_lookahead() {
+        let mut net = EventRuntime::new(DistConfig::new(params(), 8), 1).with_lookahead(2);
+        net.tick(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be in")]
+    fn zero_lookahead_is_rejected() {
+        let _ = EventRuntime::new(DistConfig::new(params(), 8), 1).with_lookahead(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be in")]
+    fn oversized_lookahead_is_rejected() {
+        let _ =
+            EventRuntime::new(DistConfig::new(params(), 8), 1).with_lookahead(MAX_LOOKAHEAD + 1);
+    }
+
+    #[test]
+    fn lookahead_and_thread_knobs_are_reported() {
+        let net = EventRuntime::new(DistConfig::new(params(), 8), 1)
+            .with_lookahead(4)
+            .with_threads(2);
+        assert_eq!(net.lookahead(), 4);
+        assert_eq!(net.threads(), 2);
+        let default = EventRuntime::new(DistConfig::new(params(), 8), 1);
+        assert_eq!(default.lookahead(), 1);
+        assert_eq!(default.threads(), 0);
     }
 
     #[test]

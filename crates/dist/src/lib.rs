@@ -99,9 +99,10 @@
 mod calendar;
 mod cast;
 mod event;
+mod soa;
 mod telemetry;
 
-pub use calendar::{Calendar, Entry, SchedulerKind, RING_SLOTS};
+pub use calendar::{Calendar, Entry, SchedulerKind, MAX_LOOKAHEAD, RING_SLOTS};
 pub use event::{
     EventRuntime, StalenessBound, ASYNC_EPOCH_PERIOD, DEFAULT_QUEUE_BOUND, EVENT_NODE_STATE_BYTES,
     MAX_MESSAGE_LATENCY,

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use sociolearn_dist::{
     Calendar, DistConfig, Entry, EventRuntime, FaultPlan, Metrics, RoundMetrics, SchedulerKind,
-    StalenessBound, RING_SLOTS,
+    StalenessBound, MAX_LOOKAHEAD, RING_SLOTS,
 };
 
 use sociolearn_core::Params;
@@ -127,10 +127,22 @@ proptest! {
     }
 }
 
+/// The worker-thread count the identity matrix runs in addition to 1:
+/// 2 by default (enough to exercise the pool handoff on any machine);
+/// CI additionally sweeps the suite with `SOCIOLEARN_TEST_THREADS=4`.
+fn test_threads() -> usize {
+    std::env::var("SOCIOLEARN_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
 /// Drives one deployment under a scheduler, recording everything
 /// observable: per-tick round metrics, per-tick distributions, and the
-/// final cumulative metrics.
-#[allow(clippy::type_complexity)]
+/// final cumulative metrics. The parallel threshold is pinned to 0 so
+/// `threads > 1` exercises the worker pool even at proptest-sized
+/// fleets.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run_observables(
     params: Params,
     n: usize,
@@ -138,6 +150,8 @@ fn run_observables(
     seed: u64,
     bound: Option<StalenessBound>,
     kind: SchedulerKind,
+    lookahead: u64,
+    threads: usize,
     ticks: u64,
 ) -> (Vec<RoundMetrics>, Vec<Vec<f64>>, Metrics) {
     use sociolearn_core::GroupDynamics;
@@ -145,7 +159,11 @@ fn run_observables(
     if let Some(b) = bound {
         net = net.with_async_epochs(b);
     }
-    let mut net = net.with_scheduler(kind);
+    let mut net = net
+        .with_scheduler(kind)
+        .with_lookahead(lookahead)
+        .with_threads(threads)
+        .with_parallel_threshold(0);
     let m = params.num_options();
     let mut rms = Vec::new();
     let mut dists = Vec::new();
@@ -182,9 +200,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The headline engine guarantee: for any valid deployment — fault
-    /// plan, staleness bound, seed — the sharded scheduler produces
-    /// byte-identical metrics and distributions for shard counts
-    /// {1, 2, 4}.
+    /// plan, staleness bound, seed — and any lookahead block width K in
+    /// {1, 2, 4}, the sharded scheduler produces byte-identical metrics
+    /// and distributions for shard counts {1, 2, 4, 8} crossed with
+    /// worker-thread counts {1, `test_threads()`}. (Different K values
+    /// are *different* trajectories by design; identity is over the
+    /// partition and the thread count, never the block width.)
     #[test]
     fn sharded_runs_are_identical_across_shard_counts(
         seed in any::<u64>(),
@@ -207,18 +228,34 @@ proptest! {
             4 => Some(StalenessBound::Unbounded),
             k => Some(StalenessBound::Epochs(k - 1)),
         };
-        let reference = run_observables(
-            params, n, faults.clone(), seed, bound,
-            SchedulerKind::ShardedCalendar { shards: 1 }, ticks,
-        );
-        for shards in [2usize, 4] {
-            let run = run_observables(
+        for lookahead in [1u64, 2, 4] {
+            let reference = run_observables(
                 params, n, faults.clone(), seed, bound,
-                SchedulerKind::ShardedCalendar { shards }, ticks,
+                SchedulerKind::ShardedCalendar { shards: 1 }, lookahead, 1, ticks,
             );
-            prop_assert_eq!(&reference.0, &run.0, "round metrics diverged at {} shards", shards);
-            prop_assert_eq!(&reference.1, &run.1, "distributions diverged at {} shards", shards);
-            prop_assert_eq!(&reference.2, &run.2, "metrics diverged at {} shards", shards);
+            for shards in [2usize, 4, 8] {
+                for threads in [1usize, test_threads()] {
+                    let run = run_observables(
+                        params, n, faults.clone(), seed, bound,
+                        SchedulerKind::ShardedCalendar { shards }, lookahead, threads, ticks,
+                    );
+                    prop_assert_eq!(
+                        &reference.0, &run.0,
+                        "round metrics diverged at K={} shards={} threads={}",
+                        lookahead, shards, threads
+                    );
+                    prop_assert_eq!(
+                        &reference.1, &run.1,
+                        "distributions diverged at K={} shards={} threads={}",
+                        lookahead, shards, threads
+                    );
+                    prop_assert_eq!(
+                        &reference.2, &run.2,
+                        "metrics diverged at K={} shards={} threads={}",
+                        lookahead, shards, threads
+                    );
+                }
+            }
         }
     }
 
@@ -241,18 +278,34 @@ proptest! {
         let params = Params::new(m, 0.7).expect("valid params");
         let plan = churn_plan(n, drop_prob, flash, &churn);
         let bound = (mode_sel > 0).then(|| StalenessBound::Epochs(mode_sel - 1));
-        let reference = run_observables(
-            params, n, plan.clone(), seed, bound,
-            SchedulerKind::ShardedCalendar { shards: 1 }, ticks,
-        );
-        for shards in [2usize, 4] {
-            let run = run_observables(
+        for lookahead in [1u64, 4] {
+            let reference = run_observables(
                 params, n, plan.clone(), seed, bound,
-                SchedulerKind::ShardedCalendar { shards }, ticks,
+                SchedulerKind::ShardedCalendar { shards: 1 }, lookahead, 1, ticks,
             );
-            prop_assert_eq!(&reference.0, &run.0, "round metrics diverged at {} shards", shards);
-            prop_assert_eq!(&reference.1, &run.1, "distributions diverged at {} shards", shards);
-            prop_assert_eq!(&reference.2, &run.2, "metrics diverged at {} shards", shards);
+            for shards in [2usize, 4] {
+                for threads in [1usize, test_threads()] {
+                    let run = run_observables(
+                        params, n, plan.clone(), seed, bound,
+                        SchedulerKind::ShardedCalendar { shards }, lookahead, threads, ticks,
+                    );
+                    prop_assert_eq!(
+                        &reference.0, &run.0,
+                        "round metrics diverged at K={} shards={} threads={}",
+                        lookahead, shards, threads
+                    );
+                    prop_assert_eq!(
+                        &reference.1, &run.1,
+                        "distributions diverged at K={} shards={} threads={}",
+                        lookahead, shards, threads
+                    );
+                    prop_assert_eq!(
+                        &reference.2, &run.2,
+                        "metrics diverged at K={} shards={} threads={}",
+                        lookahead, shards, threads
+                    );
+                }
+            }
         }
     }
 
@@ -271,14 +324,22 @@ proptest! {
         let params = Params::new(2, 0.7).expect("valid params");
         let faults = FaultPlan::with_drop_prob(drop_prob).expect("valid drop prob");
         let bound = (mode_sel > 0).then(|| StalenessBound::Epochs(mode_sel - 1));
+        let lookahead = 1 + seed % 4; // any K in 1..=4; invariants hold at all widths
         let (rms, dists, metrics) = run_observables(
             params, n, faults, seed, bound,
-            SchedulerKind::ShardedCalendar { shards }, ticks,
+            SchedulerKind::ShardedCalendar { shards }, lookahead, test_threads(), ticks,
         );
+        // Replies trail queries *cumulatively*: lookahead defers
+        // deliveries to block boundaries, so in async mode a reply can
+        // land one tick after its query and the per-tick inequality no
+        // longer holds — the running totals always do.
+        let (mut queries, mut replies) = (0u64, 0u64);
         for rm in &rms {
             prop_assert!(rm.committed <= rm.alive);
             prop_assert!(rm.alive <= n);
-            prop_assert!(rm.replies_received <= rm.queries_sent);
+            queries += rm.queries_sent;
+            replies += rm.replies_received;
+            prop_assert!(replies <= queries);
         }
         for dist in &dists {
             let total: f64 = dist.iter().sum();
@@ -286,4 +347,34 @@ proptest! {
         }
         prop_assert_eq!(metrics.rounds, ticks);
     }
+}
+
+/// The ring-horizon guard at the limit: at `K = MAX_LOOKAHEAD` the
+/// message deferral reaches its worst case (`max(latency, K) =
+/// MAX_MESSAGE_LATENCY`), and many async ticks of churn + loss wrap
+/// the calendar ring dozens of times. `Calendar::push`'s collision
+/// panic firing anywhere in here would fail the test.
+#[test]
+fn max_lookahead_never_outruns_the_ring() {
+    let params = Params::new(3, 0.7).expect("valid params");
+    let faults = FaultPlan::with_drop_prob(0.3)
+        .expect("valid drop prob")
+        .rolling_restart(20, 6);
+    let (rms, dists, metrics) = run_observables(
+        params,
+        200,
+        faults,
+        42,
+        Some(StalenessBound::Epochs(2)),
+        SchedulerKind::ShardedCalendar { shards: 4 },
+        MAX_LOOKAHEAD,
+        test_threads(),
+        60,
+    );
+    assert_eq!(metrics.rounds, 60);
+    for rm in &rms {
+        assert!(rm.committed <= rm.alive);
+    }
+    let last: f64 = dists.last().unwrap().iter().sum();
+    assert!((last - 1.0).abs() < 1e-9);
 }

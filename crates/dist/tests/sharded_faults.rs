@@ -12,6 +12,16 @@ fn params() -> Params {
     Params::new(2, 0.65).unwrap()
 }
 
+/// The worker-thread count the identity fixtures run in addition to 1:
+/// 2 by default; CI additionally sweeps the suite with
+/// `SOCIOLEARN_TEST_THREADS=4`.
+fn test_threads() -> usize {
+    std::env::var("SOCIOLEARN_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
 /// A fleet of 64 nodes sharded 4 ways splits at 16/32/48: crash the
 /// node on each side of every split, plus the range ends.
 fn boundary_crashes(round: u64) -> FaultPlan {
@@ -56,12 +66,18 @@ fn boundary_crashes_kill_the_same_nodes_under_both_schedulers() {
 #[test]
 fn boundary_crashes_are_identical_across_shard_counts() {
     // Crashes landing exactly at shard splits must not perturb the
-    // shard-count invariance: runs at 1, 2, and 4 shards stay
-    // byte-identical through the crash round and after it.
-    let drive = |shards: usize| {
+    // shard-count invariance: runs at 1, 2, and 4 shards — crossed
+    // with lookahead widths and worker-thread counts — stay
+    // byte-identical through the crash round and after it. The
+    // parallel threshold is pinned to 0 so `threads > 1` really
+    // exercises the worker pool at this fleet size.
+    let drive = |shards: usize, lookahead: u64, threads: usize| {
         let faults = boundary_crashes(8);
         let mut net = EventRuntime::new(DistConfig::new(params(), 64).with_faults(faults), 9)
-            .with_scheduler(SchedulerKind::ShardedCalendar { shards });
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards })
+            .with_lookahead(lookahead)
+            .with_threads(threads)
+            .with_parallel_threshold(0);
         let mut trace = Vec::new();
         for t in 0..20u64 {
             let rm = net.tick(&[t % 2 == 0, t % 3 == 0]);
@@ -69,18 +85,30 @@ fn boundary_crashes_are_identical_across_shard_counts() {
         }
         (trace, EventRuntime::metrics(&net))
     };
-    let one = drive(1);
-    assert_eq!(one, drive(2));
-    assert_eq!(one, drive(4));
+    for lookahead in [1u64, 4] {
+        let one = drive(1, lookahead, 1);
+        for shards in [2usize, 4] {
+            for threads in [1usize, test_threads()] {
+                assert_eq!(
+                    one,
+                    drive(shards, lookahead, threads),
+                    "K={lookahead} shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
 }
 
 #[test]
 fn async_boundary_crashes_are_identical_across_shard_counts() {
-    let drive = |shards: usize| {
+    let drive = |shards: usize, lookahead: u64, threads: usize| {
         let faults = boundary_crashes(6);
         let mut net = EventRuntime::new(DistConfig::new(params(), 64).with_faults(faults), 11)
             .with_async_epochs(StalenessBound::Epochs(1))
-            .with_scheduler(SchedulerKind::ShardedCalendar { shards });
+            .with_scheduler(SchedulerKind::ShardedCalendar { shards })
+            .with_lookahead(lookahead)
+            .with_threads(threads)
+            .with_parallel_threshold(0);
         let mut trace = Vec::new();
         for t in 0..24u64 {
             let rm = net.tick(&[t % 2 == 0, t % 3 == 0]);
@@ -88,9 +116,18 @@ fn async_boundary_crashes_are_identical_across_shard_counts() {
         }
         (trace, EventRuntime::metrics(&net))
     };
-    let one = drive(1);
-    assert_eq!(one, drive(2));
-    assert_eq!(one, drive(4));
+    for lookahead in [1u64, 2] {
+        let one = drive(1, lookahead, 1);
+        for shards in [2usize, 4] {
+            for threads in [1usize, test_threads()] {
+                assert_eq!(
+                    one,
+                    drive(shards, lookahead, threads),
+                    "K={lookahead} shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
 }
 
 #[test]
@@ -157,9 +194,10 @@ fn loss_and_boundary_crashes_keep_sharded_learning_alive() {
     // boundaries. Learning must survive (share far above the 1/m
     // floor) and per-round invariants must hold throughout, on both
     // schedulers, with a starved queue bound for extra backpressure.
-    for kind in [
-        SchedulerKind::SingleHeap,
-        SchedulerKind::ShardedCalendar { shards: 4 },
+    for (kind, lookahead) in [
+        (SchedulerKind::SingleHeap, 1u64),
+        (SchedulerKind::ShardedCalendar { shards: 4 }, 1),
+        (SchedulerKind::ShardedCalendar { shards: 4 }, 4),
     ] {
         let faults = {
             let mut plan = FaultPlan::with_drop_prob(0.3).unwrap();
@@ -170,7 +208,10 @@ fn loss_and_boundary_crashes_keep_sharded_learning_alive() {
         };
         let mut net = EventRuntime::new(DistConfig::new(params(), 64).with_faults(faults), 3)
             .with_queue_bound(2)
-            .with_scheduler(kind);
+            .with_scheduler(kind)
+            .with_lookahead(lookahead)
+            .with_threads(test_threads())
+            .with_parallel_threshold(0);
         for _ in 0..120 {
             let rm = net.tick(&[true, false]);
             assert!(rm.committed <= rm.alive);

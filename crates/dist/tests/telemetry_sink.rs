@@ -130,3 +130,59 @@ proptest! {
         assert_sink_invisible(make(), make(), &rewards);
     }
 }
+
+/// Epoch skew must be computed over *present* nodes only: a flash
+/// crowd's pre-join members sit at local epoch 0, and if the skew
+/// gauge counted them it would read roughly "ticks elapsed" instead of
+/// the fleet's true overlap. Pinned on both async engines so the
+/// sharded refactor cannot regress either path.
+#[test]
+fn epoch_skew_ignores_nodes_that_have_not_joined_yet() {
+    const N: usize = 24;
+    const CROWD: usize = 12;
+    const JOIN_AT: u64 = 8;
+    let params = Params::new(2, 0.6).expect("valid params");
+    let rewards = reward_table(2, 14, 5);
+    for shards in [1usize, 4] {
+        let faults = FaultPlan::none().flash_crowd(CROWD, JOIN_AT);
+        let mut net = EventRuntime::new(DistConfig::new(params, N).with_faults(faults), 9)
+            .with_async_epochs(StalenessBound::Unbounded);
+        if shards > 1 {
+            net = net.with_scheduler(SchedulerKind::ShardedCalendar { shards });
+        }
+        for (t, row) in rewards.iter().enumerate() {
+            let t = t as u64 + 1;
+            net.round(row);
+            // The crowd joins at the start of tick JOIN_AT, and the
+            // membership tracker advances to the *next* epoch's view
+            // at the end of each tick — so post-tick queries see the
+            // crowd from tick JOIN_AT - 1 onward (at local epoch 0,
+            // bootstrapping: genuinely present, legitimately skewed).
+            let present: Vec<usize> = if t < JOIN_AT - 1 {
+                (0..N - CROWD).collect()
+            } else {
+                (0..N).collect()
+            };
+            let epochs: Vec<u64> = present.iter().map(|&i| net.local_epoch(i)).collect();
+            let hi = *epochs.iter().max().unwrap();
+            let lo = *epochs.iter().min().unwrap();
+            assert_eq!(
+                net.epoch_spread(),
+                hi - lo,
+                "shards={shards} tick={t}: skew must match the present-node span"
+            );
+            if (4..JOIN_AT - 1).contains(&t) {
+                // The teeth: by now the early fleet has completed
+                // epochs, so counting an absent (epoch-0) node would
+                // have inflated the gauge to at least `hi`.
+                assert!(hi >= 2, "shards={shards} tick={t}: fleet should progress");
+                assert!(
+                    net.epoch_spread() < hi,
+                    "shards={shards} tick={t}: skew {} looks anchored to an \
+                     absent node's epoch 0",
+                    net.epoch_spread()
+                );
+            }
+        }
+    }
+}

@@ -5,13 +5,14 @@
 //! experiments E4 [--quick] [--seed N] [--out DIR]
 //! experiments all [--quick] [--seed N] [--out DIR]
 //! experiments watch [--ticks N] [--n N] [--m M] [--beta B] [--model sync|event|async]
-//!                   [--shards K] [--churn none|rolling|flash|region] [--cadence K]
+//!                   [--shards K] [--lookahead K] [--threads T]
+//!                   [--churn none|rolling|flash|region] [--cadence K]
 //!                   [--window W] [--name NAME] [--ansi] [--seed N] [--out DIR]
 //! ```
 
 #![forbid(unsafe_code)]
 
-use sociolearn_experiments::watch::{run_watch, ChurnScript, WatchConfig, WatchModel};
+use sociolearn_experiments::watch::{parse_watch_args, run_watch};
 use sociolearn_experiments::{registry, run_by_id, ExpContext};
 use std::process::ExitCode;
 
@@ -103,75 +104,24 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Parses `watch` flags into a [`WatchConfig`] and streams the live
-/// dashboard to stdout.
+/// Parses `watch` flags into a `WatchConfig` and streams the live
+/// dashboard to stdout. A malformed invocation prints the usage
+/// problem and exits with status 2 (the conventional usage-error
+/// code), leaving 1 for runs that start and then fail.
 fn run_watch_cli(args: &[String]) -> ExitCode {
-    let mut cfg = WatchConfig::default();
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        macro_rules! next_parsed {
-            ($what:expr) => {
-                match iter.next().map(|s| s.parse()) {
-                    Some(Ok(v)) => v,
-                    _ => {
-                        eprintln!("{} needs a value", $what);
-                        return ExitCode::FAILURE;
-                    }
-                }
-            };
+    let cfg = match parse_watch_args(args) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("watch: {err}");
+            eprintln!(
+                "usage: experiments watch [--ticks N] [--n N] [--m M] [--beta B] \
+                 [--model sync|event|async] [--shards K] [--lookahead K] [--threads T] \
+                 [--churn none|rolling|flash|region] [--cadence K] [--window W] \
+                 [--name NAME] [--ansi] [--seed N] [--out DIR]"
+            );
+            return ExitCode::from(2);
         }
-        match arg.as_str() {
-            "--ticks" => cfg.ticks = next_parsed!("--ticks"),
-            "--n" => cfg.n = next_parsed!("--n"),
-            "--m" => cfg.m = next_parsed!("--m"),
-            "--beta" => cfg.beta = next_parsed!("--beta"),
-            "--shards" => cfg.shards = next_parsed!("--shards"),
-            "--cadence" => cfg.cadence = next_parsed!("--cadence"),
-            "--window" => cfg.window = next_parsed!("--window"),
-            "--seed" => cfg.seed = next_parsed!("--seed"),
-            "--ansi" => cfg.ansi = true,
-            "--name" => match iter.next() {
-                Some(name) => cfg.name = name.clone(),
-                None => {
-                    eprintln!("--name needs a value");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--out" => match iter.next() {
-                Some(dir) => cfg.out_dir = dir.into(),
-                None => {
-                    eprintln!("--out needs a directory");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--model" => match iter.next().map(|s| WatchModel::parse(s)) {
-                Some(Ok(m)) => cfg.model = m,
-                Some(Err(e)) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-                None => {
-                    eprintln!("--model needs a value");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--churn" => match iter.next().map(|s| ChurnScript::parse(s)) {
-                Some(Ok(c)) => cfg.churn = c,
-                Some(Err(e)) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-                None => {
-                    eprintln!("--churn needs a value");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unexpected watch argument {other:?}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
+    };
 
     // The dashboard's ms/tick series is the one wall-clock quantity in
     // the whole pipeline, measured here at the entry point and handed

@@ -20,7 +20,7 @@ use rand::SeedableRng;
 use sociolearn_core::{BernoulliRewards, Params, RewardModel};
 use sociolearn_dist::{
     DistConfig, EventRuntime, FaultPlan, Metrics, MetricsRecorder, ProtocolRuntime, Runtime,
-    SchedulerKind, StalenessBound, TelemetryFrame,
+    SchedulerKind, StalenessBound, TelemetryFrame, MAX_LOOKAHEAD,
 };
 use sociolearn_plot::{LiveSvg, LiveTerm, SeriesRegistry};
 use std::io::Write;
@@ -113,6 +113,12 @@ pub struct WatchConfig {
     pub model: WatchModel,
     /// Scheduler shards for the event models (1 = single heap).
     pub shards: usize,
+    /// Lookahead block width `K` for the sharded engine (1 = classic
+    /// per-window barrier; requires `shards > 1` when above 1).
+    pub lookahead: u64,
+    /// Worker threads for dense lookahead blocks (0 = auto, 1 =
+    /// in-thread; meaningful only with `shards > 1`).
+    pub threads: usize,
     /// Churn script to run under.
     pub churn: ChurnScript,
     /// Ticks to run.
@@ -141,6 +147,8 @@ impl Default for WatchConfig {
             beta: 0.6,
             model: WatchModel::Async,
             shards: 8,
+            lookahead: 1,
+            threads: 0,
             churn: ChurnScript::Rolling,
             ticks: 200,
             cadence: 10,
@@ -150,6 +158,98 @@ impl Default for WatchConfig {
             ansi: false,
         }
     }
+}
+
+/// Parses `experiments watch` flags into a [`WatchConfig`].
+///
+/// Every failure — a flag missing its value, a value that does not
+/// parse, `--shards 0`, an unknown model/churn/flag, or a
+/// lookahead/threads knob without a sharded scheduler to act on — is a
+/// *usage* error returned as a descriptive message (the CLI prints it
+/// and exits with status 2, the conventional usage-error code).
+///
+/// # Errors
+///
+/// Returns the message to print when the arguments are not a valid
+/// `watch` invocation.
+pub fn parse_watch_args(args: &[String]) -> Result<WatchConfig, String> {
+    let mut cfg = WatchConfig::default();
+    let mut threads_set = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        macro_rules! next_parsed {
+            ($what:expr, $kind:expr) => {
+                match iter.next() {
+                    None => return Err(format!("{} needs {}", $what, $kind)),
+                    Some(raw) => raw
+                        .parse()
+                        .map_err(|_| format!("{} needs {}, got {raw:?}", $what, $kind))?,
+                }
+            };
+        }
+        match arg.as_str() {
+            "--ticks" => cfg.ticks = next_parsed!("--ticks", "an unsigned integer"),
+            "--n" => cfg.n = next_parsed!("--n", "an unsigned integer"),
+            "--m" => cfg.m = next_parsed!("--m", "an unsigned integer"),
+            "--beta" => cfg.beta = next_parsed!("--beta", "a number"),
+            "--shards" => {
+                cfg.shards = next_parsed!("--shards", "an unsigned integer");
+                if cfg.shards == 0 {
+                    return Err(
+                        "--shards must be at least 1 (1 runs the single-heap scheduler)".into(),
+                    );
+                }
+            }
+            "--lookahead" => {
+                cfg.lookahead = next_parsed!("--lookahead", "an unsigned integer");
+                if !(1..=MAX_LOOKAHEAD).contains(&cfg.lookahead) {
+                    return Err(format!(
+                        "--lookahead must be in 1..={MAX_LOOKAHEAD}, got {}",
+                        cfg.lookahead
+                    ));
+                }
+            }
+            "--threads" => {
+                cfg.threads = next_parsed!("--threads", "an unsigned integer (0 = auto)");
+                threads_set = true;
+            }
+            "--cadence" => cfg.cadence = next_parsed!("--cadence", "an unsigned integer"),
+            "--window" => cfg.window = next_parsed!("--window", "an unsigned integer"),
+            "--seed" => cfg.seed = next_parsed!("--seed", "an unsigned integer"),
+            "--ansi" => cfg.ansi = true,
+            "--name" => match iter.next() {
+                Some(name) => cfg.name = name.clone(),
+                None => return Err("--name needs a value".into()),
+            },
+            "--out" => match iter.next() {
+                Some(dir) => cfg.out_dir = dir.into(),
+                None => return Err("--out needs a directory".into()),
+            },
+            "--model" => match iter.next() {
+                Some(s) => cfg.model = WatchModel::parse(s)?,
+                None => return Err("--model needs a value (sync, event, or async)".into()),
+            },
+            "--churn" => match iter.next() {
+                Some(s) => cfg.churn = ChurnScript::parse(s)?,
+                None => {
+                    return Err("--churn needs a value (none, rolling, flash, or region)".into())
+                }
+            },
+            other => return Err(format!("unexpected watch argument {other:?}")),
+        }
+    }
+    if cfg.shards < 2 {
+        if cfg.lookahead > 1 {
+            return Err(format!(
+                "--lookahead {} needs the sharded scheduler; pass --shards 2 or more",
+                cfg.lookahead
+            ));
+        }
+        if threads_set {
+            return Err("--threads needs the sharded scheduler; pass --shards 2 or more".into());
+        }
+    }
+    Ok(cfg)
 }
 
 /// What a `watch` session reports back.
@@ -218,6 +318,12 @@ pub fn run_watch(
     out: &mut dyn Write,
 ) -> Result<WatchOutcome, String> {
     let params = Params::new(cfg.m, cfg.beta).map_err(|e| e.to_string())?;
+    if cfg.lookahead > 1 && !(cfg.model != WatchModel::RoundSync && cfg.shards > 1) {
+        return Err(format!(
+            "lookahead {} requires an event model with shards > 1",
+            cfg.lookahead
+        ));
+    }
     let faults = cfg.churn.plan(cfg.n, cfg.ticks);
     let dist = DistConfig::new(params, cfg.n).with_faults(faults);
     let mut rt: Box<dyn ProtocolRuntime> = match cfg.model {
@@ -228,7 +334,10 @@ pub fn run_watch(
                 ev = ev.with_async_epochs(StalenessBound::Unbounded);
             }
             if cfg.shards > 1 {
-                ev = ev.with_scheduler(SchedulerKind::ShardedCalendar { shards: cfg.shards });
+                ev = ev
+                    .with_scheduler(SchedulerKind::ShardedCalendar { shards: cfg.shards })
+                    .with_lookahead(cfg.lookahead)
+                    .with_threads(cfg.threads);
             }
             Box::new(ev)
         }
@@ -378,6 +487,127 @@ mod tests {
         assert_eq!(ChurnScript::parse("rolling").unwrap(), ChurnScript::Rolling);
         assert_eq!(ChurnScript::parse("none").unwrap(), ChurnScript::None);
         assert!(ChurnScript::parse("tsunami").is_err());
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn watch_args_parse_into_a_full_config() {
+        let cfg = parse_watch_args(&argv(&[
+            "--ticks",
+            "50",
+            "--n",
+            "300",
+            "--m",
+            "3",
+            "--beta",
+            "0.7",
+            "--model",
+            "async",
+            "--shards",
+            "4",
+            "--lookahead",
+            "4",
+            "--threads",
+            "2",
+            "--churn",
+            "flash",
+            "--cadence",
+            "5",
+            "--window",
+            "64",
+            "--name",
+            "demo",
+            "--ansi",
+            "--seed",
+            "99",
+            "--out",
+            "tmp_out",
+        ]))
+        .expect("valid invocation");
+        assert_eq!(cfg.ticks, 50);
+        assert_eq!(cfg.n, 300);
+        assert_eq!(cfg.m, 3);
+        assert_eq!(cfg.beta, 0.7);
+        assert_eq!(cfg.model, WatchModel::Async);
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.lookahead, 4);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.churn, ChurnScript::Flash);
+        assert_eq!(cfg.cadence, 5);
+        assert_eq!(cfg.window, 64);
+        assert_eq!(cfg.name, "demo");
+        assert!(cfg.ansi);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.out_dir, PathBuf::from("tmp_out"));
+    }
+
+    #[test]
+    fn watch_args_reject_usage_errors_descriptively() {
+        // Each bad invocation must fail and the message must name the
+        // offending flag — that is what the CLI prints before exit 2.
+        for (args, needle) in [
+            (vec!["--shards", "0"], "--shards must be at least 1"),
+            (vec!["--cadence", "fast"], "--cadence"),
+            (vec!["--cadence"], "--cadence needs"),
+            (vec!["--churn", "tsunami"], "unknown churn script"),
+            (vec!["--model", "warp"], "unknown model"),
+            (vec!["--ticks", "-3"], "--ticks"),
+            (vec!["--frobnicate"], "unexpected watch argument"),
+            (vec!["--lookahead", "0"], "--lookahead must be in"),
+            (vec!["--lookahead", "99"], "--lookahead must be in"),
+            (
+                vec!["--shards", "1", "--lookahead", "2"],
+                "needs the sharded scheduler",
+            ),
+            (
+                vec!["--shards", "1", "--threads", "4"],
+                "needs the sharded scheduler",
+            ),
+        ] {
+            let err = parse_watch_args(&argv(&args)).expect_err(&format!("{args:?} must fail"));
+            assert!(
+                err.contains(needle),
+                "error for {args:?} should mention {needle:?}, got {err:?}"
+            );
+        }
+        // The same knobs are fine once the scheduler is sharded.
+        assert!(parse_watch_args(&argv(&["--shards", "2", "--lookahead", "2"])).is_ok());
+        assert!(
+            parse_watch_args(&argv(&["--threads", "4"])).is_ok(),
+            "default shards=8"
+        );
+    }
+
+    #[test]
+    fn watch_runs_with_lookahead_and_threads() {
+        let dir = std::env::temp_dir().join("sociolearn_watch_lookahead");
+        let cfg = WatchConfig {
+            n: 80,
+            ticks: 10,
+            cadence: 5,
+            shards: 4,
+            lookahead: 4,
+            threads: 2,
+            name: "look4".into(),
+            out_dir: dir,
+            ..WatchConfig::default()
+        };
+        let mut sink = Vec::new();
+        let mut timer = || 1.0;
+        let outcome = run_watch(&cfg, &mut timer, &mut sink).expect("runs");
+        assert_eq!(outcome.ticks, 10);
+        // Lookahead on the single heap is a configuration error, not a
+        // panic from deep inside the runtime.
+        let bad = WatchConfig {
+            shards: 1,
+            lookahead: 2,
+            ..cfg
+        };
+        let err = run_watch(&bad, &mut timer, &mut sink).expect_err("must be rejected");
+        assert!(err.contains("lookahead"), "got {err:?}");
     }
 
     #[test]

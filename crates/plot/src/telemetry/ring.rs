@@ -28,6 +28,14 @@ pub struct SampleRing {
     buf: VecDeque<f64>,
     cap: usize,
     pushed: u64,
+    /// Cached smallest finite sample in the window. Invariant: always
+    /// exactly `min` over the current buffer — updated on push,
+    /// recomputed when the sample that set it is evicted — so the
+    /// per-frame axis queries stay O(1) instead of rescanning the
+    /// window.
+    lo: Option<f64>,
+    /// Cached largest finite sample in the window (same invariant).
+    hi: Option<f64>,
 }
 
 impl SampleRing {
@@ -39,15 +47,30 @@ impl SampleRing {
             buf: VecDeque::with_capacity(cap),
             cap,
             pushed: 0,
+            lo: None,
+            hi: None,
         }
     }
 
     /// Appends a sample, evicting the oldest one if the ring is full.
     pub fn push(&mut self, v: f64) {
         if self.buf.len() == self.cap {
-            self.buf.pop_front();
+            let evicted = self.buf.pop_front();
+            // If the evicted sample was (one copy of) a cached
+            // extremum, the cache may now be stale — rescan the
+            // survivors. Anything else leaves the extrema untouched.
+            if let Some(e) = evicted.filter(|e| e.is_finite()) {
+                if Some(e) == self.lo || Some(e) == self.hi {
+                    self.lo = self.finite_fold(f64::INFINITY, f64::min);
+                    self.hi = self.finite_fold(f64::NEG_INFINITY, f64::max);
+                }
+            }
         }
         self.buf.push_back(v);
+        if v.is_finite() {
+            self.lo = Some(self.lo.map_or(v, |lo| lo.min(v)));
+            self.hi = Some(self.hi.map_or(v, |hi| hi.max(v)));
+        }
         self.pushed += 1;
     }
 
@@ -87,14 +110,16 @@ impl SampleRing {
         self.buf.iter().copied().collect()
     }
 
-    /// Smallest finite sample in the window, if any.
+    /// Smallest finite sample in the window, if any — O(1) from the
+    /// eviction-maintained cache.
     pub fn min(&self) -> Option<f64> {
-        self.finite_fold(f64::INFINITY, f64::min)
+        self.lo
     }
 
-    /// Largest finite sample in the window, if any.
+    /// Largest finite sample in the window, if any — O(1) from the
+    /// eviction-maintained cache.
     pub fn max(&self) -> Option<f64> {
-        self.finite_fold(f64::NEG_INFINITY, f64::max)
+        self.hi
     }
 
     fn finite_fold(&self, init: f64, f: fn(f64, f64) -> f64) -> Option<f64> {
@@ -160,5 +185,50 @@ mod tests {
         assert_eq!(ring.min(), None);
         assert_eq!(ring.max(), None);
         assert_eq!(ring.latest(), None);
+    }
+
+    #[test]
+    fn extrema_shrink_back_after_a_spike_is_evicted() {
+        // Regression: the cached extrema must be recomputed when the
+        // sample that set them falls out of the window, or a single
+        // spike would pin a live chart's axes forever.
+        let mut ring = SampleRing::new(3);
+        ring.push(1.0);
+        ring.push(100.0);
+        ring.push(2.0);
+        assert_eq!(ring.max(), Some(100.0));
+        ring.push(3.0); // evicts 1.0 — min rescans
+        assert_eq!(ring.min(), Some(2.0));
+        assert_eq!(ring.max(), Some(100.0));
+        ring.push(4.0); // evicts the 100.0 spike — max rescans
+        assert_eq!(ring.max(), Some(4.0));
+        assert_eq!(ring.min(), Some(2.0));
+    }
+
+    #[test]
+    fn cached_extrema_match_a_rescan_under_churny_pushes() {
+        let mut ring = SampleRing::new(5);
+        let samples = [
+            3.0,
+            f64::NAN,
+            -7.0,
+            -7.0,
+            f64::INFINITY,
+            12.0,
+            0.5,
+            -2.0,
+            12.0,
+            1.0,
+            f64::NEG_INFINITY,
+            8.0,
+        ];
+        for v in samples {
+            ring.push(v);
+            let finite: Vec<f64> = ring.iter().filter(|v| v.is_finite()).collect();
+            let expect_min = finite.iter().copied().reduce(f64::min);
+            let expect_max = finite.iter().copied().reduce(f64::max);
+            assert_eq!(ring.min(), expect_min, "min drifted after pushing {v}");
+            assert_eq!(ring.max(), expect_max, "max drifted after pushing {v}");
+        }
     }
 }

@@ -33,12 +33,14 @@
 
 mod measure;
 mod parallel;
+mod pool;
 mod runner;
 mod seeds;
 mod sweep;
 
 pub use measure::{aggregate_curves, final_values, AggregatedCurve, CurvePoints};
 pub use parallel::{parallel_map, replicate};
+pub use pool::WorkerPool;
 pub use runner::{run_one, Replication, RunConfig};
 pub use seeds::{SeedTree, SplitMix64};
 pub use sweep::{grid2, grid3};
